@@ -1,0 +1,97 @@
+// Factory digital twin: the motivating scenario of the paper's
+// introduction. Machines on a factory floor stream vibration readings;
+// the factory's digital twin audits readings before trusting them for
+// maintenance decisions, and detects when a reading's provenance cannot
+// be established.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/twoldag/twoldag"
+)
+
+func main() {
+	const (
+		machines = 18
+		gamma    = 5
+		shifts   = 6
+	)
+	cluster, err := twoldag.NewCluster(twoldag.ClusterConfig{
+		Nodes: machines,
+		Gamma: gamma,
+		Seed:  7,
+	})
+	if err != nil {
+		log.Fatalf("factory network: %v", err)
+	}
+	defer cluster.Close()
+
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(7))
+	type reading struct {
+		ref   twoldag.Ref
+		shift int
+		mm    float64
+	}
+	var lake []reading
+
+	// Six shifts of vibration telemetry.
+	for shift := 1; shift <= shifts; shift++ {
+		cluster.AdvanceSlot()
+		for _, m := range cluster.Nodes() {
+			mm := 0.2 + rng.Float64()*0.3
+			if shift == 4 && m == cluster.Nodes()[3] {
+				mm = 2.9 // anomalous spike on machine 3, shift 4
+			}
+			ref, err := cluster.Submit(ctx, m, []byte(fmt.Sprintf("vibration=%.2fmm machine=%v shift=%d", mm, m, shift)))
+			if err != nil {
+				log.Fatalf("telemetry: %v", err)
+			}
+			lake = append(lake, reading{ref: ref, shift: shift, mm: mm})
+		}
+	}
+
+	// The digital twin spots the spike and audits its provenance before
+	// scheduling maintenance.
+	twin := cluster.Nodes()[machines-1]
+	var spike reading
+	for _, r := range lake {
+		if r.mm > 2 {
+			spike = r
+			break
+		}
+	}
+	fmt.Printf("digital twin: anomalous reading %.2f mm at %v (shift %d) — auditing\n", spike.mm, spike.ref, spike.shift)
+	res, err := cluster.Audit(ctx, twin, spike.ref)
+	switch {
+	case errors.Is(err, twoldag.ErrTampered):
+		fmt.Println("  VERDICT: reading tampered — maintenance order rejected")
+	case errors.Is(err, twoldag.ErrNoConsensus):
+		fmt.Println("  VERDICT: provenance unverifiable — holding decision")
+	case err != nil:
+		log.Fatalf("audit: %v", err)
+	default:
+		fmt.Printf("  VERDICT: genuine (vouched by %d machines: %v)\n", len(res.Vouchers), res.Vouchers)
+		fmt.Printf("  evidence path spans %d blocks, cost %d messages\n", len(res.Path), res.MessagesSent+res.MessagesReceived)
+		fmt.Println("  maintenance scheduled for machine", spike.ref.Node)
+	}
+
+	// Periodic compliance sweep: audit one reading per shift.
+	okCount := 0
+	for shift := 1; shift <= shifts; shift++ {
+		r := lake[(shift-1)*machines+rng.Intn(machines)]
+		if r.ref.Node == twin {
+			r = lake[(shift-1)*machines]
+		}
+		res, err := cluster.Audit(ctx, twin, r.ref)
+		if err == nil && res.Consensus {
+			okCount++
+		}
+	}
+	fmt.Printf("compliance sweep: %d/%d sampled readings verified\n", okCount, shifts)
+}

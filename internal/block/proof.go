@@ -1,0 +1,52 @@
+package block
+
+import (
+	"fmt"
+
+	"github.com/twoldag/twoldag/internal/merkle"
+)
+
+// Sample proofs let a digital twin check one sensor sample against an
+// already-audited header without re-downloading the block body — the
+// Root field of Fig. 2 is a Merkle commitment precisely to enable this.
+
+// SampleProof binds one body chunk to a block's Merkle root.
+type SampleProof struct {
+	Ref   Ref
+	Leaf  []byte
+	Proof merkle.Proof
+}
+
+// ProveSample builds an inclusion proof for the leafIndex-th body chunk
+// of b under p's leaf size.
+func (p Params) ProveSample(b *Block, leafIndex int) (*SampleProof, error) {
+	tree, err := merkle.NewTreeFromBody(b.Body, p.LeafSize)
+	if err != nil {
+		return nil, fmt.Errorf("block: building body tree: %w", err)
+	}
+	proof, err := tree.Proof(leafIndex)
+	if err != nil {
+		return nil, fmt.Errorf("block: proving leaf %d: %w", leafIndex, err)
+	}
+	start := leafIndex * p.LeafSize
+	end := start + p.LeafSize
+	if end > len(b.Body) {
+		end = len(b.Body)
+	}
+	return &SampleProof{
+		Ref:   b.Header.Ref(),
+		Leaf:  append([]byte(nil), b.Body[start:end]...),
+		Proof: proof,
+	}, nil
+}
+
+// VerifySample checks the proof against a (previously audited) header.
+func (p Params) VerifySample(h *Header, sp *SampleProof) error {
+	if h.Ref() != sp.Ref {
+		return fmt.Errorf("%w: proof for %v checked against %v", ErrNoDigest, sp.Ref, h.Ref())
+	}
+	if err := sp.Proof.Verify(h.Root, sp.Leaf); err != nil {
+		return fmt.Errorf("block: sample proof: %w", err)
+	}
+	return nil
+}

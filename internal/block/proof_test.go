@@ -1,0 +1,84 @@
+package block
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+func TestSampleProofRoundTrip(t *testing.T) {
+	p := testParams()
+	p.LeafSize = 64
+	key := identity.Deterministic(1, 9)
+	body := bytes.Repeat([]byte("sensor-frame-"), 40) // several leaves
+	b, err := p.Build(key, 1, 1, body, []DigestRef{{Node: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := (len(body) + p.LeafSize - 1) / p.LeafSize
+	for i := 0; i < leaves; i++ {
+		sp, err := p.ProveSample(b, i)
+		if err != nil {
+			t.Fatalf("ProveSample(%d): %v", i, err)
+		}
+		if err := p.VerifySample(&b.Header, sp); err != nil {
+			t.Fatalf("VerifySample(%d): %v", i, err)
+		}
+	}
+}
+
+func TestSampleProofRejectsTamperedLeaf(t *testing.T) {
+	p := testParams()
+	p.LeafSize = 32
+	key := identity.Deterministic(1, 9)
+	b, err := p.Build(key, 1, 1, bytes.Repeat([]byte{0xAB}, 100), []DigestRef{{Node: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := p.ProveSample(b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Leaf[0] ^= 0xFF
+	if err := p.VerifySample(&b.Header, sp); err == nil {
+		t.Fatal("tampered leaf verified")
+	}
+}
+
+func TestSampleProofRejectsWrongHeader(t *testing.T) {
+	p := testParams()
+	p.LeafSize = 32
+	key := identity.Deterministic(1, 9)
+	b1, err := p.Build(key, 1, 1, bytes.Repeat([]byte{1}, 64), []DigestRef{{Node: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := p.Build(key, 2, 2, bytes.Repeat([]byte{2}, 64), []DigestRef{{Node: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := p.ProveSample(b1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifySample(&b2.Header, sp); err == nil {
+		t.Fatal("proof verified against the wrong header")
+	}
+}
+
+func TestSampleProofBadIndex(t *testing.T) {
+	p := testParams()
+	key := identity.Deterministic(1, 9)
+	b, err := p.Build(key, 1, 1, []byte("tiny"), []DigestRef{{Node: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ProveSample(b, 5); err == nil {
+		t.Fatal("out-of-range leaf accepted")
+	}
+	empty := &Block{Header: b.Header}
+	if _, err := p.ProveSample(empty, 0); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}

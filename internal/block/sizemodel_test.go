@@ -1,0 +1,59 @@
+package block
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSizeModelPaperConstants(t *testing.T) {
+	m := DefaultSizeModel(500_000) // C = 0.5 MB
+	if m.FV != 32 || m.FT != 32 || m.FN != 32 {
+		t.Fatal("f_v, f_t, f_n must be 32 bits")
+	}
+	if m.FH != 256 || m.FS != 256 {
+		t.Fatal("f_H and f_s must be 256 bits")
+	}
+	// f_c = 32+32+256+32+256 = 608 bits (Eq. 3).
+	if m.ConstantBits() != 608 {
+		t.Fatalf("f_c = %d, want 608", m.ConstantBits())
+	}
+	if m.C != 4_000_000 {
+		t.Fatalf("C = %d bits, want 4e6", m.C)
+	}
+}
+
+func TestHeaderAndBlockBits(t *testing.T) {
+	m := DefaultSizeModel(100)
+	// Fig. 2: header = f_c + 256*(n+1).
+	for n := 0; n < 10; n++ {
+		wantHeader := 608 + 256*(n+1)
+		if got := m.HeaderBits(n); got != wantHeader {
+			t.Fatalf("HeaderBits(%d) = %d, want %d", n, got, wantHeader)
+		}
+		if got := m.BlockBits(n); got != wantHeader+800 {
+			t.Fatalf("BlockBits(%d) = %d, want %d", n, got, wantHeader+800)
+		}
+	}
+}
+
+func TestDigestAndBodyBits(t *testing.T) {
+	m := DefaultSizeModel(10)
+	if m.DigestBits() != 256 {
+		t.Fatal("digest must be 256 bits")
+	}
+	if m.BodyBits() != 80 {
+		t.Fatal("BodyBits must equal C")
+	}
+}
+
+func TestQuickBlockBitsDecomposition(t *testing.T) {
+	// Eq. 2: f_i - C - f_H*(n+1) must always equal f_c.
+	f := func(bodyBytes uint16, n uint8) bool {
+		m := DefaultSizeModel(int(bodyBytes))
+		nn := int(n % 64)
+		return m.BlockBits(nn)-m.C-m.FH*(nn+1) == m.ConstantBits()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

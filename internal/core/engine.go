@@ -1,0 +1,114 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// ErrNotNeighbor reports a digest announcement from a node that is not a
+// physical neighbor; 2LDAG nodes only accept digests over existing radio
+// links (Sec. III-A, IV-D5).
+var ErrNotNeighbor = errors.New("core: digest from non-neighbor")
+
+// Engine is the node-side 2LDAG state machine of Sec. III: it owns the
+// node's block log S_i, the neighbor digest cache A_i and the trusted
+// header store H_i, and implements block generation (Sec. III-D) and
+// digest ingestion. Transport-agnostic: callers deliver incoming
+// digests via OnDigest and broadcast the digests Generate returns.
+type Engine struct {
+	key    identity.KeyPair
+	params block.Params
+	topo   *topology.Graph
+
+	store *ledger.Store
+	cache *ledger.DigestCache
+	trust *ledger.TrustStore
+}
+
+// NewEngine builds the state machine for one node.
+func NewEngine(key identity.KeyPair, params block.Params, topo *topology.Graph) (*Engine, error) {
+	if topo == nil {
+		return nil, errors.New("core: Engine requires a topology")
+	}
+	if !topo.Has(key.ID) {
+		return nil, fmt.Errorf("core: node %v not in topology", key.ID)
+	}
+	return &Engine{
+		key:    key,
+		params: params,
+		topo:   topo,
+		store:  ledger.NewStore(key.ID),
+		cache:  ledger.NewDigestCache(),
+		trust:  ledger.NewTrustStore(),
+	}, nil
+}
+
+// ID returns the node's identity.
+func (e *Engine) ID() identity.NodeID { return e.key.ID }
+
+// Store exposes S_i (shared with responders and fetchers).
+func (e *Engine) Store() *ledger.Store { return e.store }
+
+// Trust exposes H_i (shared with this node's validator).
+func (e *Engine) Trust() *ledger.TrustStore { return e.trust }
+
+// Cache exposes A_i.
+func (e *Engine) Cache() *ledger.DigestCache { return e.cache }
+
+// OnDigest ingests a digest announcement from a neighbor, replacing
+// that neighbor's entry in A_i (Sec. III-D). Announcements from
+// non-neighbors are rejected.
+func (e *Engine) OnDigest(from identity.NodeID, d digest.Digest) error {
+	if !e.topo.IsNeighbor(e.key.ID, from) {
+		return fmt.Errorf("%w: %v -> %v", ErrNotNeighbor, from, e.key.ID)
+	}
+	e.cache.Update(from, d)
+	return nil
+}
+
+// Generate assembles, mines, signs and appends the node's next block
+// over the given body. It returns the block together with the digest
+// H(b^h) that must be announced to every neighbor.
+func (e *Engine) Generate(t uint32, body []byte) (*block.Block, digest.Digest, error) {
+	var prev digest.Digest
+	seq := uint32(e.store.Len())
+	if latest := e.store.Latest(); latest != nil {
+		prev = latest.Header.Hash()
+	}
+	refs := e.cache.Snapshot(e.key.ID, prev, e.topo.Neighbors(e.key.ID))
+	b, err := e.params.Build(e.key, t, seq, body, refs)
+	if err != nil {
+		return nil, digest.Digest{}, fmt.Errorf("core: generating block %v#%d: %w", e.key.ID, seq, err)
+	}
+	if err := e.store.Append(b); err != nil {
+		return nil, digest.Digest{}, fmt.Errorf("core: appending block: %w", err)
+	}
+	return b, b.Header.Hash(), nil
+}
+
+// Validator constructs a PoP validator bound to this node's trust store.
+func (e *Engine) Validator(gamma int, ring *identity.Ring, opts ...func(*ValidatorConfig)) (*Validator, error) {
+	cfg := ValidatorConfig{
+		Self:   e.key.ID,
+		Gamma:  gamma,
+		Params: e.params,
+		Ring:   ring,
+		Topo:   e.topo,
+		Trust:  e.trust,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewValidator(cfg)
+}
+
+// Responder constructs this node's Algorithm 4 responder.
+func (e *Engine) Responder() *Responder {
+	return NewResponder(e.store)
+}

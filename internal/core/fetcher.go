@@ -1,0 +1,96 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
+)
+
+// StoreFetcher is an in-process Fetcher resolving requests directly
+// against a set of node stores. It is the honest transport used by
+// single-process deployments, tests and the simulator; malicious
+// behaviors and cost accounting are layered on via the Intercept hooks.
+type StoreFetcher struct {
+	mu     sync.RWMutex
+	stores map[identity.NodeID]*ledger.Store
+
+	// InterceptChild, when non-nil, may rewrite or suppress a child
+	// reply before the validator sees it. It receives the responder,
+	// the target digest and the honest answer; returning an error
+	// simulates a timeout or refusal.
+	InterceptChild func(j identity.NodeID, target digest.Digest, h *block.Header, err error) (*block.Header, error)
+	// InterceptBlock is the analogous hook for full-block retrievals.
+	InterceptBlock func(ref block.Ref, b *block.Block, err error) (*block.Block, error)
+}
+
+var _ Fetcher = (*StoreFetcher)(nil)
+
+// NewStoreFetcher builds a fetcher over the given stores.
+func NewStoreFetcher(stores map[identity.NodeID]*ledger.Store) *StoreFetcher {
+	cp := make(map[identity.NodeID]*ledger.Store, len(stores))
+	for id, s := range stores {
+		cp[id] = s
+	}
+	return &StoreFetcher{stores: cp}
+}
+
+// Register adds or replaces a node's store (dynamic membership).
+func (f *StoreFetcher) Register(id identity.NodeID, s *ledger.Store) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stores[id] = s
+}
+
+// Remove drops a node's store.
+func (f *StoreFetcher) Remove(id identity.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.stores, id)
+}
+
+func (f *StoreFetcher) store(id identity.NodeID) (*ledger.Store, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	s, ok := f.stores[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: node %v unreachable", ErrTimeout, id)
+	}
+	return s, nil
+}
+
+// RequestChild implements Fetcher by running Algorithm 4 in-process.
+func (f *StoreFetcher) RequestChild(ctx context.Context, j identity.NodeID, target digest.Digest) (*block.Header, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var h *block.Header
+	s, err := f.store(j)
+	if err == nil {
+		h, err = NewResponder(s).ChildFor(target)
+	}
+	if f.InterceptChild != nil {
+		return f.InterceptChild(j, target, h, err)
+	}
+	return h, err
+}
+
+// FetchBlock implements Fetcher.
+func (f *StoreFetcher) FetchBlock(ctx context.Context, ref block.Ref) (*block.Block, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var b *block.Block
+	s, err := f.store(ref.Node)
+	if err == nil {
+		b, err = NewResponder(s).Block(ref)
+	}
+	if f.InterceptBlock != nil {
+		return f.InterceptBlock(ref, b, err)
+	}
+	return b, err
+}

@@ -1,0 +1,380 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// DefaultStepBudget bounds the number of candidate probes per
+// verification; Prop. 6 bounds honest executions far below this.
+const DefaultStepBudget = 65536
+
+// ValidatorConfig configures a PoP validator.
+type ValidatorConfig struct {
+	// Self is the validator's node ID (node i of Algorithm 3).
+	Self identity.NodeID
+	// Gamma is the number of tolerable malicious nodes γ; consensus
+	// requires γ+1 distinct vouchers.
+	Gamma int
+	// Params are the shared consensus constants.
+	Params block.Params
+	// Ring is the shared public-key registry.
+	Ring *identity.Ring
+	// Topo is the shared physical topology (all nodes know G(V,E)).
+	Topo *topology.Graph
+	// Trust is H_i. Nil disables TPS caching (the ablation baseline).
+	Trust *ledger.TrustStore
+	// Blacklist, when non-nil, records unresponsive peers and skips
+	// banned ones (Sec. IV-D6).
+	Blacklist *ledger.Blacklist
+	// Strategy selects the next responder; nil means WPS (Alg. 1).
+	Strategy SelectionStrategy
+	// RNG breaks selection ties; nil keeps runs deterministic.
+	RNG *rand.Rand
+	// StepBudget caps candidate probes; 0 means DefaultStepBudget.
+	StepBudget int
+	// StrictPath disables the union-semantics fallback: consensus then
+	// requires a single path of γ+1 distinct nodes, exactly as the
+	// paper's Algorithm 3 defines it. By default, when strict path
+	// construction exhausts (Algorithm 3's backtracking search is
+	// incomplete — rolled-back subtrees may be viable under other
+	// prefixes), Verify retries counting every node that ever produced
+	// a valid child along the exploration. That is security-equivalent:
+	// each such node owns a block that verifiably descends from the
+	// target, so it vouches transitively (Sec. III-C), and the retry is
+	// a complete decision procedure for γ+1-voucher reachability.
+	StrictPath bool
+}
+
+// Validator runs Proof-of-Path verifications (Algorithm 3).
+type Validator struct {
+	cfg      ValidatorConfig
+	strategy SelectionStrategy
+}
+
+// NewValidator validates the configuration and builds a validator.
+func NewValidator(cfg ValidatorConfig) (*Validator, error) {
+	if cfg.Ring == nil {
+		return nil, errors.New("core: ValidatorConfig.Ring is required")
+	}
+	if cfg.Topo == nil {
+		return nil, errors.New("core: ValidatorConfig.Topo is required")
+	}
+	if cfg.Gamma < 0 {
+		return nil, fmt.Errorf("core: negative gamma %d", cfg.Gamma)
+	}
+	if cfg.StepBudget == 0 {
+		cfg.StepBudget = DefaultStepBudget
+	}
+	v := &Validator{cfg: cfg, strategy: cfg.Strategy}
+	if v.strategy == nil {
+		v.strategy = WPS{}
+	}
+	return v, nil
+}
+
+// voucherSet is R_i: an insertion-ordered set of distinct node IDs.
+type voucherSet struct {
+	in    map[identity.NodeID]bool
+	order []identity.NodeID
+}
+
+func newVoucherSet() *voucherSet {
+	return &voucherSet{in: make(map[identity.NodeID]bool)}
+}
+
+func (s *voucherSet) add(id identity.NodeID) {
+	if !s.in[id] {
+		s.in[id] = true
+		s.order = append(s.order, id)
+	}
+}
+
+func (s *voucherSet) remove(id identity.NodeID) {
+	if !s.in[id] {
+		return
+	}
+	delete(s.in, id)
+	for i, v := range s.order {
+		if v == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (s *voucherSet) has(id identity.NodeID) bool { return s.in[id] }
+func (s *voucherSet) len() int                    { return len(s.order) }
+
+// Verify runs Algorithm 3 against the block identified by ref,
+// retrieving data through f. On success the returned Result has
+// Consensus == true and, when H_i is configured, every header on the
+// path has been cached for future TPS hits (line 39).
+func (v *Validator) Verify(ctx context.Context, ref block.Ref, f Fetcher) (*Result, error) {
+	res := &Result{Target: ref}
+
+	// Lines 1–5: retrieve the verifier's block and check the Merkle
+	// root (plus PoW and signature, which the paper folds into header
+	// validity).
+	res.MessagesSent++
+	blk, err := f.FetchBlock(ctx, ref)
+	if err != nil {
+		return res, fmt.Errorf("core: retrieving target %v: %w", ref, err)
+	}
+	res.MessagesReceived++
+	root, err := v.cfg.Params.BodyRoot(blk.Body)
+	if err != nil {
+		return res, fmt.Errorf("core: hashing target body: %w", err)
+	}
+	if root != blk.Header.Root {
+		return res, fmt.Errorf("%w: %v", ErrRootMismatch, ref)
+	}
+	if err := v.cfg.Params.ValidateHeader(&blk.Header, v.cfg.Ring); err != nil {
+		return res, fmt.Errorf("%w: %v: %v", ErrInvalidBlock, ref, err)
+	}
+
+	err = v.construct(ctx, ref, blk, f, res, false)
+	if errors.Is(err, ErrNoConsensus) && !v.cfg.StrictPath {
+		// Strict path construction exhausted; retry with union
+		// semantics (see ValidatorConfig.StrictPath).
+		res.UnionFallback = true
+		err = v.construct(ctx, ref, blk, f, res, true)
+	}
+	return res, err
+}
+
+// construct runs one path-construction attempt (Algorithm 3 lines
+// 6–39). With union == true, vouchers survive rollbacks. Message
+// counters accumulate into res across attempts.
+func (v *Validator) construct(ctx context.Context, ref block.Ref, blk *block.Block, f Fetcher, res *Result, union bool) error {
+	// Line 6: R_i = {j}, P_i = {b_j,t}, verifying block = target.
+	vouchers := newVoucherSet()
+	vouchers.add(ref.Node)
+	hdr := blk.Header.Clone()
+	path := []PathStep{{Node: ref.Node, Header: hdr, HeaderHash: hdr.Hash()}}
+
+	budget := v.cfg.StepBudget
+
+	// dead records blocks whose subtrees were exhausted by a rollback.
+	// The paper's pseudocode resets V' = V each outer iteration (line
+	// 14), which livelocks between two dead-end branches when consensus
+	// is unsatisfiable; memoizing exhausted blocks preserves Algorithm
+	// 3's behavior on satisfiable instances while guaranteeing
+	// termination (stores are immutable during one verification).
+	dead := make(map[digest.Digest]bool)
+
+	// Lines 8–38: construct the path.
+	for {
+		// Line 9: extend for free from H_i (Algorithm 2).
+		path = v.runTPS(path, vouchers, dead, res)
+
+		// Lines 10–12: consensus check.
+		if vouchers.len() >= v.cfg.Gamma+1 {
+			res.Consensus = true
+			res.Path = path
+			res.Vouchers = append([]identity.NodeID(nil), vouchers.order...)
+			v.cacheVerifiedPath(path)
+			return nil
+		}
+
+		// Lines 13–35: probe neighbors of the verifying block's origin,
+		// rolling back when a node's neighborhood is exhausted. V' (the
+		// exclusion set) resets at each outer iteration, per line 14.
+		excluded := make(map[identity.NodeID]bool)
+		tried := make(map[identity.NodeID]bool)
+		advanced := false
+
+		for !advanced {
+			if err := ctx.Err(); err != nil {
+				res.Path = path
+				return fmt.Errorf("core: verification canceled: %w", err)
+			}
+			cur := path[len(path)-1]
+			cands := v.candidates(cur.Node, tried, excluded)
+			if len(cands) == 0 {
+				// Lines 26–31: roll back past the exhausted node.
+				res.Rollbacks++
+				excluded[cur.Node] = true
+				dead[cur.HeaderHash] = true
+				if !union {
+					// Line 27; with union semantics the voucher
+					// stays (its block provably descends from the
+					// target).
+					vouchers.remove(cur.Node)
+				}
+				path = path[:len(path)-1]
+				if len(path) == 0 || vouchers.len() == 0 {
+					// Lines 32–34.
+					res.Path = path
+					return fmt.Errorf("%w: %v: every path exhausted", ErrNoConsensus, ref)
+				}
+				tried = make(map[identity.NodeID]bool)
+				continue
+			}
+
+			if budget--; budget < 0 {
+				res.Path = path
+				return fmt.Errorf("%w: %v", ErrStepBudget, ref)
+			}
+
+			jPrime := v.strategy.Next(&SelectionState{
+				Validator:  v.cfg.Self,
+				Verifier:   ref.Node,
+				Current:    cur.Node,
+				Candidates: cands,
+				InVouchers: vouchers.has,
+				Topo:       v.cfg.Topo,
+				RNG:        v.cfg.RNG,
+			})
+			tried[jPrime] = true
+
+			// Lines 17–24: REQ_CHILD / RPY_CHILD exchange.
+			res.MessagesSent++
+			child, err := f.RequestChild(ctx, jPrime, cur.HeaderHash)
+			if err != nil {
+				res.Timeouts++
+				v.reportFailure(jPrime)
+				continue
+			}
+			res.MessagesReceived++
+			if !v.replyValid(child, jPrime, cur) {
+				res.Timeouts++
+				v.reportFailure(jPrime)
+				continue
+			}
+			v.reportSuccess(jPrime)
+			res.HeadersFetched++
+			cc := child.Clone()
+			hh := cc.Hash()
+			if dead[hh] {
+				// This child's subtree is already known to dead-end;
+				// probing it again would livelock.
+				continue
+			}
+
+			// Lines 36–37: extend R_i and P_i, advance the verifying
+			// block.
+			path = append(path, PathStep{Node: jPrime, Header: cc, HeaderHash: hh})
+			vouchers.add(jPrime)
+			advanced = true
+		}
+	}
+}
+
+// runTPS is Algorithm 2: follow child links already present in H_i,
+// stopping early once consensus is in hand and never stepping into a
+// block whose subtree already dead-ended.
+func (v *Validator) runTPS(path []PathStep, vouchers *voucherSet, dead map[digest.Digest]bool, res *Result) []PathStep {
+	if v.cfg.Trust == nil {
+		return path
+	}
+	for vouchers.len() < v.cfg.Gamma+1 {
+		cur := path[len(path)-1]
+		child, ok := v.cfg.Trust.ChildOf(cur.HeaderHash)
+		if !ok {
+			break
+		}
+		hh := child.Hash()
+		if dead[hh] {
+			break
+		}
+		res.TrustHits++
+		path = append(path, PathStep{
+			Node: child.Origin, Header: child, HeaderHash: hh, ViaTrust: true,
+		})
+		vouchers.add(child.Origin)
+	}
+	return path
+}
+
+// candidates computes N' for the current verifying node: its physical
+// neighbors minus already-tried, rolled-back and blacklisted nodes.
+func (v *Validator) candidates(cur identity.NodeID, tried, excluded map[identity.NodeID]bool) []identity.NodeID {
+	nbs := v.cfg.Topo.Neighbors(cur)
+	out := nbs[:0]
+	for _, nb := range nbs {
+		if tried[nb] || excluded[nb] {
+			continue
+		}
+		if v.cfg.Blacklist != nil && v.cfg.Blacklist.Banned(nb) {
+			continue
+		}
+		out = append(out, nb)
+	}
+	return out
+}
+
+// replyValid applies line 21 — H(b^h_v) == GetDigest(b^h_j', v) — plus
+// authenticity: the reply must be j”s own block and carry a valid PoW
+// and signature.
+func (v *Validator) replyValid(child *block.Header, jPrime identity.NodeID, cur PathStep) bool {
+	if child.Origin != jPrime {
+		return false
+	}
+	d, ok := child.DigestOf(cur.Node)
+	if !ok || d != cur.HeaderHash {
+		return false
+	}
+	return v.cfg.Params.ValidateHeader(child, v.cfg.Ring) == nil
+}
+
+// cacheVerifiedPath is line 39: store every header on the successful
+// path into H_i.
+func (v *Validator) cacheVerifiedPath(path []PathStep) {
+	if v.cfg.Trust == nil {
+		return
+	}
+	for _, step := range path {
+		v.cfg.Trust.Add(step.Header)
+	}
+}
+
+func (v *Validator) reportFailure(id identity.NodeID) {
+	if v.cfg.Blacklist != nil {
+		v.cfg.Blacklist.ReportFailure(id)
+	}
+}
+
+func (v *Validator) reportSuccess(id identity.NodeID) {
+	if v.cfg.Blacklist != nil {
+		v.cfg.Blacklist.ReportSuccess(id)
+	}
+}
+
+// Responder implements Algorithm 4: serve the oldest local block whose
+// Δ contains a requested digest, and serve full blocks to validators.
+type Responder struct {
+	store *ledger.Store
+}
+
+// NewResponder wraps a node's block store.
+func NewResponder(store *ledger.Store) *Responder {
+	return &Responder{store: store}
+}
+
+// ChildFor returns the header of the oldest local block containing
+// target in its Δ (Eq. 10–11), or ErrNoChild.
+func (r *Responder) ChildFor(target digest.Digest) (*block.Header, error) {
+	b, ok := r.store.OldestContaining(target)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s at %v", ErrNoChild, target, r.store.Owner())
+	}
+	return &b.Header, nil
+}
+
+// Block returns the full local block for ref, used to answer a
+// validator's initial retrieval (Algorithm 3 line 2).
+func (r *Responder) Block(ref block.Ref) (*block.Block, error) {
+	if ref.Node != r.store.Owner() {
+		return nil, fmt.Errorf("%w: %v not owned by %v", ledger.ErrNotFound, ref, r.store.Owner())
+	}
+	return r.store.Get(ref.Seq)
+}

@@ -1,0 +1,134 @@
+package digest
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumMatchesSHA256(t *testing.T) {
+	data := []byte("2ldag proof of path")
+	want := sha256.Sum256(data)
+	got := Sum(data)
+	if got != Digest(want) {
+		t.Fatalf("Sum mismatch: got %s want %x", got.Hex(), want)
+	}
+}
+
+func TestSumConcatenation(t *testing.T) {
+	a, b := []byte("hello "), []byte("world")
+	joined := Sum(append(append([]byte{}, a...), b...))
+	parts := Sum(a, b)
+	if joined != parts {
+		t.Fatalf("Sum(a||b) != Sum(a, b)")
+	}
+}
+
+func TestSumStringAgrees(t *testing.T) {
+	if SumString("abc") != Sum([]byte("abc")) {
+		t.Fatal("SumString disagrees with Sum")
+	}
+}
+
+func TestHexRoundTrip(t *testing.T) {
+	d := Sum([]byte("round trip"))
+	back, err := FromHex(d.Hex())
+	if err != nil {
+		t.Fatalf("FromHex: %v", err)
+	}
+	if back != d {
+		t.Fatalf("round trip mismatch: %s vs %s", back.Hex(), d.Hex())
+	}
+}
+
+func TestFromHexErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"abcd",
+		strings.Repeat("z", 64),
+		strings.Repeat("a", 63),
+		strings.Repeat("a", 65),
+	}
+	for _, c := range cases {
+		if _, err := FromHex(c); err == nil {
+			t.Errorf("FromHex(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	var zero Digest
+	if !zero.IsZero() {
+		t.Fatal("zero digest not reported as zero")
+	}
+	if Sum([]byte("x")).IsZero() {
+		t.Fatal("hash of data reported as zero")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := Digest{0x01}
+	b := Digest{0x02}
+	if a.Compare(b) != -1 || b.Compare(a) != 1 || a.Compare(a) != 0 {
+		t.Fatal("Compare ordering wrong")
+	}
+}
+
+func TestLeadingZeroBits(t *testing.T) {
+	cases := []struct {
+		d    Digest
+		want int
+	}{
+		{Digest{0x80}, 0},
+		{Digest{0x40}, 1},
+		{Digest{0x01}, 7},
+		{Digest{0x00, 0x80}, 8},
+		{Digest{0x00, 0x00, 0x01}, 23},
+		{Digest{}, 256},
+	}
+	for _, c := range cases {
+		if got := c.d.LeadingZeroBits(); got != c.want {
+			t.Errorf("LeadingZeroBits(%s) = %d, want %d", c.d.Hex(), got, c.want)
+		}
+	}
+}
+
+func TestShortAndString(t *testing.T) {
+	d := Sum([]byte("short"))
+	if len(d.Short()) != 8 {
+		t.Fatalf("Short length %d, want 8", len(d.Short()))
+	}
+	if d.String() != d.Short() {
+		t.Fatal("String should equal Short")
+	}
+}
+
+func TestQuickHexRoundTrip(t *testing.T) {
+	f := func(raw [Size]byte) bool {
+		d := Digest(raw)
+		back, err := FromHex(d.Hex())
+		return err == nil && back == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCompareConsistency(t *testing.T) {
+	f := func(a, b [Size]byte) bool {
+		da, db := Digest(a), Digest(b)
+		c := da.Compare(db)
+		switch {
+		case da == db:
+			return c == 0
+		case c == 0:
+			return false
+		default:
+			return c == -db.Compare(da)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

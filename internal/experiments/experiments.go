@@ -1,0 +1,363 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation (Sec. VI). Each function runs the relevant simulations —
+// 2LDAG (internal/sim) against the PBFT and IOTA baselines — and
+// returns labeled series matching the paper's axes. cmd/experiments
+// renders them as tables/CSV; bench_test.go wraps them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/twoldag/twoldag/internal/attack"
+	"github.com/twoldag/twoldag/internal/baseline/iota"
+	"github.com/twoldag/twoldag/internal/baseline/pbft"
+	"github.com/twoldag/twoldag/internal/core"
+	"github.com/twoldag/twoldag/internal/metrics"
+	"github.com/twoldag/twoldag/internal/sim"
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// Nodes is |V| and Slots the time horizon.
+	Nodes, Slots int
+	// Trials is the Fig. 9 averaging count.
+	Trials int
+	// Fig9MaxSlots is the Fig. 9 probing horizon.
+	Fig9MaxSlots int
+	// Stride probes every Stride slots in Fig. 9.
+	Stride int
+	// Seed anchors all randomness.
+	Seed int64
+}
+
+// FullScale reproduces the paper's setup: 50 nodes, 200 slots.
+func FullScale() Scale {
+	return Scale{Nodes: 50, Slots: 200, Trials: 10, Fig9MaxSlots: 150, Stride: 5, Seed: 1}
+}
+
+// QuickScale is a minutes-fast configuration preserving every
+// qualitative shape.
+func QuickScale() Scale {
+	return Scale{Nodes: 16, Slots: 60, Trials: 4, Fig9MaxSlots: 40, Stride: 4, Seed: 1}
+}
+
+// topoConfig places Scale.Nodes with the paper's density (50 m range in
+// a square scaled so average degree stays comparable to the 50-node
+// deployment).
+func (s Scale) topoConfig() topology.Config {
+	cfg := topology.DefaultConfig(s.Seed)
+	cfg.Nodes = s.Nodes
+	if s.Nodes != 50 {
+		// Keep the node density of the reference deployment.
+		side := 1000.0 * float64(s.Nodes) / 50.0
+		cfg.Width, cfg.Height = side, side
+		cfg.Range = 50 * 4 // denser links for small graphs
+		if s.Nodes >= 40 {
+			cfg.Range = 50
+		}
+	}
+	return cfg
+}
+
+// gammaFor mirrors the paper's tolerance settings: fraction of |V|.
+func (s Scale) gammaFor(fraction float64) int {
+	g := int(fraction * float64(s.Nodes))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// FigResult is one figure's regenerated data.
+type FigResult struct {
+	Name   string
+	Series []*metrics.Series
+	// CDFs maps a label to final per-node samples.
+	CDFs map[string][]float64
+	// Notes carries headline comparisons (orders of magnitude etc.).
+	Notes []string
+}
+
+// Render writes the result as aligned tables plus notes.
+func (f *FigResult) Render(w io.Writer) error {
+	if _, err := fmt.Fprint(w, metrics.Table("== "+f.Name+" ==", f.Series...)); err != nil {
+		return err
+	}
+	for label, samples := range f.CDFs {
+		cdf, err := metrics.NewCDF(samples)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "CDF %s: min=%.3f p50=%.3f p90=%.3f max=%.3f mean=%.3f\n",
+			label, cdf.Min(), cdf.Quantile(0.5), cdf.Quantile(0.9), cdf.Max(), cdf.Mean())
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "NOTE: %s\n", n)
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV renders the series as CSV.
+func (f *FigResult) CSV() string { return metrics.CSV(f.Series...) }
+
+// Fig7 regenerates Fig. 7(a)-(d): average node storage vs. time for
+// C ∈ {0.1, 0.5, 1} MB, PBFT vs IOTA vs 2LDAG, plus the storage CDF at
+// the final slot for C = 0.5 MB.
+func Fig7(scale Scale) ([]*FigResult, error) {
+	bodySizes := []struct {
+		label string
+		bytes int
+	}{
+		{"C=0.1MB", 100_000},
+		{"C=0.5MB", 500_000},
+		{"C=1MB", 1_000_000},
+	}
+	graph, err := topology.Generate(scale.topoConfig())
+	if err != nil {
+		return nil, err
+	}
+	var out []*FigResult
+	for _, bs := range bodySizes {
+		fig := &FigResult{Name: "Fig7 storage (MB/node) " + bs.label, CDFs: map[string][]float64{}}
+
+		pr, err := pbft.Run(pbft.Config{Nodes: scale.Nodes, Slots: scale.Slots, BodyBytes: bs.bytes})
+		if err != nil {
+			return nil, err
+		}
+		ir, err := iota.Run(iota.Config{Graph: graph, Slots: scale.Slots, BodyBytes: bs.bytes, Seed: scale.Seed})
+		if err != nil {
+			return nil, err
+		}
+		s2, err := sim.New(sim.Config{
+			Graph:                graph,
+			Seed:                 scale.Seed,
+			Slots:                scale.Slots,
+			BodyBytes:            bs.bytes,
+			Gamma:                scale.gammaFor(0.33),
+			RetainVerifiedBlocks: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r2, err := s2.Run()
+		if err != nil {
+			return nil, err
+		}
+		fig.Series = []*metrics.Series{
+			pr.StorageSeries("PBFT"),
+			ir.StorageSeries("IOTA"),
+			r2.StorageSeries("2LDAG"),
+		}
+		pLast, _ := fig.Series[0].Last()
+		dLast, _ := fig.Series[2].Last()
+		if dLast > 0 {
+			fig.Notes = append(fig.Notes, fmt.Sprintf(
+				"PBFT/2LDAG storage ratio at final slot: %.1fx (paper: ~2 orders of magnitude)", pLast/dLast))
+		}
+		if bs.bytes == 500_000 {
+			samples := make([]float64, len(r2.NodeStorageBits))
+			for i, b := range r2.NodeStorageBits {
+				samples[i] = metrics.BitsToMB(b)
+			}
+			fig.CDFs["2LDAG node storage MB (Fig 7d)"] = samples
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// Fig8 regenerates Fig. 8(a)-(d): communication overhead vs. time —
+// total, DAG-construction and consensus splits for γ = 33%|V| and
+// 49%|V|, against PBFT and IOTA, plus the per-node comm CDF.
+func Fig8(scale Scale) ([]*FigResult, error) {
+	const bodyBytes = 500_000
+	graph, err := topology.Generate(scale.topoConfig())
+	if err != nil {
+		return nil, err
+	}
+	pr, err := pbft.Run(pbft.Config{Nodes: scale.Nodes, Slots: scale.Slots, BodyBytes: bodyBytes})
+	if err != nil {
+		return nil, err
+	}
+	ir, err := iota.Run(iota.Config{Graph: graph, Slots: scale.Slots, BodyBytes: bodyBytes, Seed: scale.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	type variant struct {
+		label string
+		gamma int
+	}
+	variants := []variant{
+		{"2LDAG-33%", scale.gammaFor(0.33)},
+		{"2LDAG-49%", scale.gammaFor(0.49)},
+	}
+	total := &FigResult{Name: "Fig8a total comm (Mb/node)", CDFs: map[string][]float64{}}
+	constr := &FigResult{Name: "Fig8b DAG-construction comm (Mb/node)", CDFs: map[string][]float64{}}
+	consensus := &FigResult{Name: "Fig8c consensus comm (Mb/node)", CDFs: map[string][]float64{}}
+	total.Series = append(total.Series, pr.CommSeries("PBFT"), ir.CommSeries("IOTA"))
+
+	for _, v := range variants {
+		s2, err := sim.New(sim.Config{
+			Graph:     graph,
+			Seed:      scale.Seed,
+			Slots:     scale.Slots,
+			BodyBytes: bodyBytes,
+			Gamma:     v.gamma,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r2, err := s2.Run()
+		if err != nil {
+			return nil, err
+		}
+		total.Series = append(total.Series, r2.CommSeries(v.label))
+		constr.Series = append(constr.Series, r2.ConstructionSeries(v.label))
+		consensus.Series = append(consensus.Series, r2.ConsensusSeries(v.label))
+		if v.gamma == scale.gammaFor(0.49) {
+			samples := make([]float64, len(r2.NodeCommBits))
+			for i, b := range r2.NodeCommBits {
+				samples[i] = metrics.BitsToMB(b)
+			}
+			total.CDFs["2LDAG-49% node comm MB (Fig 8d)"] = samples
+		}
+	}
+	pLast, _ := total.Series[0].Last()
+	dLast, _ := total.Series[2].Last()
+	if dLast > 0 {
+		total.Notes = append(total.Notes, fmt.Sprintf(
+			"PBFT/2LDAG comm ratio at final slot: %.0fx (paper: ~3 orders of magnitude)", pLast/dLast))
+	}
+	return []*FigResult{total, constr, consensus}, nil
+}
+
+// Fig9 regenerates Fig. 9(a)-(d): consensus failure probability vs.
+// elapsed slots for γ ∈ {10,15,20,24} (scaled for non-50-node runs)
+// and the paper's malicious counts.
+func Fig9(scale Scale) ([]*FigResult, error) {
+	type panel struct {
+		gamma     int
+		malicious []int
+	}
+	var panels []panel
+	if scale.Nodes >= 50 {
+		panels = []panel{
+			{10, []int{0, 5, 8, 10}},
+			{15, []int{0, 5, 10, 15}},
+			{20, []int{0, 5, 18, 20}},
+			{24, []int{0, 5, 10, 20, 22, 24}},
+		}
+	} else {
+		// Scaled-down panels preserving the γ/|V| fractions.
+		g1 := scale.gammaFor(0.2)
+		g2 := scale.gammaFor(0.3)
+		g3 := scale.gammaFor(0.4)
+		g4 := scale.gammaFor(0.48)
+		panels = []panel{
+			{g1, []int{0, g1 / 2, g1}},
+			{g2, []int{0, g2 / 2, g2}},
+			{g3, []int{0, g3 / 2, g3}},
+			{g4, []int{0, g4 / 2, g4}},
+		}
+	}
+	var out []*FigResult
+	for _, p := range panels {
+		fig := &FigResult{
+			Name: fmt.Sprintf("Fig9 consensus failure probability, gamma=%d", p.gamma),
+			CDFs: map[string][]float64{},
+		}
+		for _, mal := range p.malicious {
+			rep, err := sim.RunProbe(sim.ProbeConfig{
+				Base: sim.Config{
+					Topo:            scale.topoConfig(),
+					Seed:            scale.Seed,
+					BodyBytes:       500_000,
+					Gamma:           p.gamma,
+					Malicious:       mal,
+					Behavior:        attack.KindSilent,
+					RandomPeriodMax: 2, // paper: one block per {1,2} slots
+				},
+				MaxSlots: scale.Fig9MaxSlots,
+				Trials:   scale.Trials,
+				Stride:   scale.Stride,
+			})
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("%d malicious", mal)
+			fig.Series = append(fig.Series, rep.Series(label))
+			if rep.SlotsToConsensus >= 0 {
+				fig.Notes = append(fig.Notes, fmt.Sprintf("%s: consensus at slot %d", label, rep.SlotsToConsensus))
+			} else {
+				fig.Notes = append(fig.Notes, fmt.Sprintf("%s: no consensus within %d slots", label, scale.Fig9MaxSlots))
+			}
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// Ablations regenerates the design-choice studies DESIGN.md calls out:
+// WPS vs random vs shortest-path-first selection (ABL-WPS), and H_i
+// caching on/off (ABL-TPS).
+func Ablations(scale Scale) ([]*FigResult, error) {
+	const bodyBytes = 100_000
+	graph, err := topology.Generate(scale.topoConfig())
+	if err != nil {
+		return nil, err
+	}
+	gamma := scale.gammaFor(0.33)
+
+	strategies := []struct {
+		label    string
+		strategy core.SelectionStrategy
+	}{
+		{"WPS", core.WPS{}},
+		{"random", core.RandomSelection{}},
+		{"shortest-path-first", core.ShortestPathFirst{}},
+	}
+	strat := &FigResult{Name: "ABL-WPS consensus comm by path strategy (Mb/node)", CDFs: map[string][]float64{}}
+	for _, st := range strategies {
+		s2, err := sim.New(sim.Config{
+			Graph: graph, Seed: scale.Seed, Slots: scale.Slots,
+			BodyBytes: bodyBytes, Gamma: gamma, Strategy: st.strategy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r2, err := s2.Run()
+		if err != nil {
+			return nil, err
+		}
+		strat.Series = append(strat.Series, r2.ConsensusSeries(st.label))
+	}
+
+	tps := &FigResult{Name: "ABL-TPS consensus comm with/without H_i cache (Mb/node)", CDFs: map[string][]float64{}}
+	for _, v := range []struct {
+		label   string
+		disable bool
+	}{{"TPS on", false}, {"TPS off", true}} {
+		s2, err := sim.New(sim.Config{
+			Graph: graph, Seed: scale.Seed, Slots: scale.Slots,
+			BodyBytes: bodyBytes, Gamma: gamma, DisableTrust: v.disable,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r2, err := s2.Run()
+		if err != nil {
+			return nil, err
+		}
+		tps.Series = append(tps.Series, r2.ConsensusSeries(v.label))
+	}
+	on, _ := tps.Series[0].Last()
+	off, _ := tps.Series[1].Last()
+	if on > 0 {
+		tps.Notes = append(tps.Notes, fmt.Sprintf("H_i cache saves %.1fx consensus traffic", off/on))
+	}
+	return []*FigResult{strat, tps}, nil
+}

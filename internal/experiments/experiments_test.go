@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps the smoke tests fast while exercising every code
+// path.
+func tinyScale() Scale {
+	return Scale{Nodes: 12, Slots: 24, Trials: 2, Fig9MaxSlots: 24, Stride: 6, Seed: 2}
+}
+
+func TestFig7ShapesAndOrdering(t *testing.T) {
+	figs, err := Fig7(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("want 3 panels, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) != 3 {
+			t.Fatalf("%s: want 3 series", fig.Name)
+		}
+		pbftLast, err := fig.Series[0].Last()
+		if err != nil {
+			t.Fatal(err)
+		}
+		iotaLast, err := fig.Series[1].Last()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dagLast, err := fig.Series[2].Last()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The paper's headline: 2LDAG storage sits far below both
+		// baselines (full replication vs store-your-own).
+		if dagLast*3 > pbftLast || dagLast*3 > iotaLast {
+			t.Fatalf("%s: 2LDAG %.1f MB not clearly below PBFT %.1f / IOTA %.1f",
+				fig.Name, dagLast, pbftLast, iotaLast)
+		}
+	}
+	// The C=0.5MB panel carries the Fig. 7(d) CDF.
+	found := false
+	for _, fig := range figs {
+		for label := range fig.CDFs {
+			if strings.Contains(label, "7d") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("Fig. 7(d) CDF missing")
+	}
+}
+
+func TestFig8SplitsAndOrdering(t *testing.T) {
+	figs, err := Fig8(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 3 {
+		t.Fatalf("want total/construction/consensus panels, got %d", len(figs))
+	}
+	total := figs[0]
+	if len(total.Series) != 4 { // PBFT, IOTA, 2LDAG-33%, 2LDAG-49%
+		t.Fatalf("total panel series = %d, want 4", len(total.Series))
+	}
+	pbftLast, _ := total.Series[0].Last()
+	dag33, _ := total.Series[2].Last()
+	dag49, _ := total.Series[3].Last()
+	if dag33*10 > pbftLast {
+		t.Fatalf("2LDAG comm %.2f Mb not orders below PBFT %.2f Mb", dag33, pbftLast)
+	}
+	// Higher tolerance must not be cheaper (longer paths).
+	if dag49 < dag33*0.8 {
+		t.Fatalf("49%% tolerance cheaper than 33%%: %.2f vs %.2f", dag49, dag33)
+	}
+	// Construction traffic is digests only: tiny compared to consensus.
+	constrLast, _ := figs[1].Series[0].Last()
+	consLast, _ := figs[2].Series[0].Last()
+	if constrLast > consLast {
+		t.Fatalf("construction %.3f Mb above consensus %.3f Mb", constrLast, consLast)
+	}
+}
+
+func TestFig9Panels(t *testing.T) {
+	figs, err := Fig9(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 4 {
+		t.Fatalf("want 4 gamma panels, got %d", len(figs))
+	}
+	for _, fig := range figs {
+		if len(fig.Series) < 3 {
+			t.Fatalf("%s: want ≥3 malicious-count curves", fig.Name)
+		}
+		for _, s := range fig.Series {
+			if s.Len() == 0 {
+				t.Fatalf("%s: empty curve %s", fig.Name, s.Name)
+			}
+			// Failure probabilities live in [0, 1].
+			for _, y := range s.Y {
+				if y < 0 || y > 1 {
+					t.Fatalf("%s/%s: probability %v out of range", fig.Name, s.Name, y)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationsOrdering(t *testing.T) {
+	figs, err := Ablations(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("want strategy + TPS panels, got %d", len(figs))
+	}
+	tps := figs[1]
+	on, _ := tps.Series[0].Last()
+	off, _ := tps.Series[1].Last()
+	if off <= on {
+		t.Fatalf("disabling H_i must cost more traffic: on=%.3f off=%.3f", on, off)
+	}
+}
+
+func TestRenderAndCSV(t *testing.T) {
+	figs, err := Ablations(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := figs[0].Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ABL-WPS") {
+		t.Fatal("render missing title")
+	}
+	csv := figs[0].CSV()
+	if !strings.HasPrefix(csv, "x,") {
+		t.Fatalf("csv header wrong: %q", csv[:10])
+	}
+}
+
+func TestScales(t *testing.T) {
+	full := FullScale()
+	if full.Nodes != 50 || full.Slots != 200 {
+		t.Fatal("full scale must match the paper's deployment")
+	}
+	quick := QuickScale()
+	if quick.Nodes >= full.Nodes || quick.Slots >= full.Slots {
+		t.Fatal("quick scale must be smaller than full scale")
+	}
+	if full.gammaFor(0.49) != 24 {
+		t.Fatalf("49%% of 50 nodes = %d, want 24", full.gammaFor(0.49))
+	}
+	if full.gammaFor(0.33) != 16 {
+		t.Fatalf("33%% of 50 nodes = %d, want 16", full.gammaFor(0.33))
+	}
+}

@@ -1,0 +1,67 @@
+package ledger
+
+import (
+	"sync"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// DigestCache is A_i: the latest block-header digest received from each
+// neighbor (paper Sec. III-D). When neighbor j announces a new digest,
+// it replaces j's previous entry.
+type DigestCache struct {
+	mu     sync.RWMutex
+	latest map[identity.NodeID]digest.Digest
+}
+
+// NewDigestCache returns an empty cache.
+func NewDigestCache() *DigestCache {
+	return &DigestCache{latest: make(map[identity.NodeID]digest.Digest)}
+}
+
+// Update records the newest digest announced by node j.
+func (c *DigestCache) Update(j identity.NodeID, d digest.Digest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.latest[j] = d
+}
+
+// Get returns the cached digest for node j.
+func (c *DigestCache) Get(j identity.NodeID) (digest.Digest, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	d, ok := c.latest[j]
+	return d, ok
+}
+
+// Forget drops a neighbor's entry (dynamic leave).
+func (c *DigestCache) Forget(j identity.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.latest, j)
+}
+
+// Len returns |A_i|.
+func (c *DigestCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.latest)
+}
+
+// Snapshot assembles the Δ field for a new block (Sec. III-D): the
+// owner's previous-header digest first (zero for genesis), then the
+// cached digest for each listed neighbor, in the given order. Neighbors
+// with no cached digest yet are included with the zero digest so the
+// field layout is stable; zero entries never match Contains.
+func (c *DigestCache) Snapshot(owner identity.NodeID, prev digest.Digest, neighbors []identity.NodeID) []block.DigestRef {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	refs := make([]block.DigestRef, 0, len(neighbors)+1)
+	refs = append(refs, block.DigestRef{Node: owner, Digest: prev})
+	for _, j := range neighbors {
+		refs = append(refs, block.DigestRef{Node: j, Digest: c.latest[j]})
+	}
+	return refs
+}

@@ -1,0 +1,106 @@
+package ledger
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// Snapshot persistence: IoT devices reboot, and a 2LDAG node that loses
+// S_i loses the data only it stores (the whole point of the
+// architecture is that nobody else holds it). WriteSnapshot/ReadSnapshot
+// serialize a store as a stream of length-prefixed block encodings with
+// a magic header, so deployments can persist to flash and resume.
+
+// snapshotMagic identifies store snapshot streams ("2LDG" + version 1).
+var snapshotMagic = [8]byte{'2', 'L', 'D', 'G', 'S', 'N', 'P', 1}
+
+// Snapshot errors.
+var (
+	ErrBadSnapshot = errors.New("ledger: malformed snapshot")
+	ErrWrongOwner  = errors.New("ledger: snapshot belongs to another node")
+)
+
+// maxSnapshotBlock bounds one serialized block in a snapshot.
+const maxSnapshotBlock = block.MaxBodyLen + 1<<20
+
+// WriteSnapshot serializes the store: magic, owner, block count, then
+// each block length-prefixed in sequence order.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("ledger: writing snapshot header: %w", err)
+	}
+	var meta [8]byte
+	binary.LittleEndian.PutUint32(meta[:4], uint32(s.owner))
+	binary.LittleEndian.PutUint32(meta[4:], uint32(len(s.blocks)))
+	if _, err := bw.Write(meta[:]); err != nil {
+		return fmt.Errorf("ledger: writing snapshot meta: %w", err)
+	}
+	for _, b := range s.blocks {
+		enc := block.Encode(b)
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(enc)))
+		if _, err := bw.Write(lenBuf[:]); err != nil {
+			return fmt.Errorf("ledger: writing block length: %w", err)
+		}
+		if _, err := bw.Write(enc); err != nil {
+			return fmt.Errorf("ledger: writing block: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot reconstructs a store from a snapshot stream, rebuilding
+// every index and re-validating the chain structure (sequence numbers
+// and ownership). Cryptographic validity is the caller's concern (use
+// block.Params.Validate when restoring from untrusted media).
+func ReadSnapshot(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	var meta [8]byte
+	if _, err := io.ReadFull(br, meta[:]); err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrBadSnapshot, err)
+	}
+	owner := identity.NodeID(binary.LittleEndian.Uint32(meta[:4]))
+	count := binary.LittleEndian.Uint32(meta[4:])
+	s := NewStore(owner)
+	for i := uint32(0); i < count; i++ {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			return nil, fmt.Errorf("%w: block %d length: %v", ErrBadSnapshot, i, err)
+		}
+		size := binary.LittleEndian.Uint32(lenBuf[:])
+		if size > maxSnapshotBlock {
+			return nil, fmt.Errorf("%w: block %d size %d", ErrBadSnapshot, i, size)
+		}
+		enc := make([]byte, size)
+		if _, err := io.ReadFull(br, enc); err != nil {
+			return nil, fmt.Errorf("%w: block %d body: %v", ErrBadSnapshot, i, err)
+		}
+		b, err := block.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+		}
+		if err := s.Append(b); err != nil {
+			if errors.Is(err, ErrWrongOrigin) {
+				return nil, fmt.Errorf("%w: block %d origin %v", ErrWrongOwner, i, b.Header.Origin)
+			}
+			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+		}
+	}
+	return s, nil
+}

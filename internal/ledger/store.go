@@ -1,0 +1,171 @@
+// Package ledger holds the per-node state of 2LDAG (paper Sec. III):
+//
+//   - Store — S_i, the append-only log of the node's own data blocks.
+//     2LDAG nodes never store other nodes' blocks, which is the source
+//     of its storage advantage over chain/DAG blockchains.
+//   - DigestCache — A_i, the latest header digest received from each
+//     neighbor, merged into the Δ field of the next block.
+//   - TrustStore — H_i, headers the node has already verified via PoP,
+//     indexed so the Trust Path Selection algorithm (Alg. 2) can extend
+//     paths without any network traffic.
+//   - Blacklist — the selfish-attack penalty mechanism of Sec. IV-D6.
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// Sentinel errors.
+var (
+	ErrWrongOrigin = errors.New("ledger: block origin does not match store owner")
+	ErrBadSeq      = errors.New("ledger: block sequence out of order")
+	ErrNotFound    = errors.New("ledger: block not found")
+)
+
+// Store is S_i: the append-only log of one node's own blocks, with an
+// index answering the responder query of Algorithm 4 — "the oldest of my
+// blocks whose Δ contains digest d".
+type Store struct {
+	mu        sync.RWMutex
+	owner     identity.NodeID
+	blocks    []*block.Block
+	byHash    map[digest.Digest]int
+	contains  map[digest.Digest][]int // ascending seq = oldest first
+	bodyBytes int64
+}
+
+// NewStore creates an empty log owned by the given node.
+func NewStore(owner identity.NodeID) *Store {
+	return &Store{
+		owner:    owner,
+		byHash:   make(map[digest.Digest]int),
+		contains: make(map[digest.Digest][]int),
+	}
+}
+
+// Owner returns the owning node's ID.
+func (s *Store) Owner() identity.NodeID { return s.owner }
+
+// Append adds the node's next block. The block must belong to the owner
+// and continue the sequence (genesis = 0).
+func (s *Store) Append(b *block.Block) error {
+	if b.Header.Origin != s.owner {
+		return fmt.Errorf("%w: %v vs %v", ErrWrongOrigin, b.Header.Origin, s.owner)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(b.Header.Seq) != len(s.blocks) {
+		return fmt.Errorf("%w: seq %d, want %d", ErrBadSeq, b.Header.Seq, len(s.blocks))
+	}
+	cp := b.Clone()
+	idx := len(s.blocks)
+	s.blocks = append(s.blocks, cp)
+	s.byHash[cp.Header.Hash()] = idx
+	for _, ref := range cp.Header.Digests {
+		if ref.Digest.IsZero() {
+			continue
+		}
+		s.contains[ref.Digest] = append(s.contains[ref.Digest], idx)
+	}
+	s.bodyBytes += int64(len(cp.Body))
+	return nil
+}
+
+// Len returns |S_i|.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.blocks)
+}
+
+// Get returns a copy of the block with the given sequence number.
+func (s *Store) Get(seq uint32) (*block.Block, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(seq) >= len(s.blocks) {
+		return nil, fmt.Errorf("%w: %v#%d", ErrNotFound, s.owner, seq)
+	}
+	return s.blocks[seq].Clone(), nil
+}
+
+// Latest returns a copy of the most recent block, or nil for an empty
+// store.
+func (s *Store) Latest() *block.Block {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if len(s.blocks) == 0 {
+		return nil
+	}
+	return s.blocks[len(s.blocks)-1].Clone()
+}
+
+// ByHash returns a copy of the block whose header hashes to d.
+func (s *Store) ByHash(d digest.Digest) (*block.Block, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, ok := s.byHash[d]
+	if !ok {
+		return nil, false
+	}
+	return s.blocks[idx].Clone(), true
+}
+
+// OldestContaining implements the responder's selection rule (Alg. 4,
+// Eq. 10–11): among the owner's blocks whose Δ contains d, return the
+// oldest. The second result is false when no block matches.
+func (s *Store) OldestContaining(d digest.Digest) (*block.Block, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idxs := s.contains[d]
+	if len(idxs) == 0 {
+		return nil, false
+	}
+	return s.blocks[idxs[0]].Clone(), true
+}
+
+// CountContaining returns |C_j'(b)|: how many of the owner's blocks
+// reference digest d. Exposed for the micro-loop analysis tests
+// (Prop. 5).
+func (s *Store) CountContaining(d digest.Digest) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.contains[d])
+}
+
+// BodyBytes returns the cumulative body payload stored, in bytes.
+func (s *Store) BodyBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bodyBytes
+}
+
+// ModelBits returns the storage footprint of S_i under the paper's size
+// model: Σ_blocks f_c + f_H·(|Δ|) + C, where |Δ| counts the digest
+// entries (own-previous plus neighbors), matching Eq. 2's f_H·(n+1)
+// term.
+func (s *Store) ModelBits(m block.SizeModel) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := int64(0)
+	for _, b := range s.blocks {
+		total += int64(m.ConstantBits() + m.FH*len(b.Header.Digests) + m.C)
+	}
+	return total
+}
+
+// Headers returns copies of all stored headers in sequence order.
+func (s *Store) Headers() []*block.Header {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*block.Header, len(s.blocks))
+	for i, b := range s.blocks {
+		out[i] = b.Header.Clone()
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package ledger
+
+import (
+	"sync"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+)
+
+// TrustStore is H_i: block headers a validator has already verified
+// through PoP (paper Sec. IV-B). It is indexed two ways:
+//
+//   - by header hash, to deduplicate; and
+//   - by contained digest, so Trust Path Selection (Alg. 2) can answer
+//     "do I already hold a child of the block hashing to d?" in O(1).
+type TrustStore struct {
+	mu      sync.RWMutex
+	headers map[digest.Digest]*block.Header // header hash → header
+	// children maps a digest d to the hashes of stored headers whose Δ
+	// contains d, in insertion order.
+	children  map[digest.Digest][]digest.Digest
+	totalRefs int64
+}
+
+// NewTrustStore returns an empty H_i.
+func NewTrustStore() *TrustStore {
+	return &TrustStore{
+		headers:  make(map[digest.Digest]*block.Header),
+		children: make(map[digest.Digest][]digest.Digest),
+	}
+}
+
+// Add stores a verified header. Duplicates are ignored. It returns true
+// when the header was newly added.
+func (t *TrustStore) Add(h *block.Header) bool {
+	hh := h.Hash()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.headers[hh]; ok {
+		return false
+	}
+	cp := h.Clone()
+	t.headers[hh] = cp
+	for _, ref := range cp.Digests {
+		if ref.Digest.IsZero() {
+			continue
+		}
+		t.children[ref.Digest] = append(t.children[ref.Digest], hh)
+		t.totalRefs++
+	}
+	return true
+}
+
+// Has reports whether a header with the given hash is stored.
+func (t *TrustStore) Has(headerHash digest.Digest) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.headers[headerHash]
+	return ok
+}
+
+// Get returns a copy of the stored header with the given hash.
+func (t *TrustStore) Get(headerHash digest.Digest) (*block.Header, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h, ok := t.headers[headerHash]
+	if !ok {
+		return nil, false
+	}
+	return h.Clone(), true
+}
+
+// ChildOf returns a stored header whose Δ contains d — the TPS lookup of
+// Eq. 9. When several qualify, the earliest inserted wins, which keeps
+// path reconstruction deterministic.
+func (t *TrustStore) ChildOf(d digest.Digest) (*block.Header, bool) {
+	if d.IsZero() {
+		return nil, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	hashes := t.children[d]
+	if len(hashes) == 0 {
+		return nil, false
+	}
+	return t.headers[hashes[0]].Clone(), true
+}
+
+// Len returns the number of distinct headers in H_i.
+func (t *TrustStore) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.headers)
+}
+
+// ModelBits returns the footprint of H_i under the paper's size model,
+// matching Prop. 2's accounting: each header costs f_c + f_H·|Δ|.
+func (t *TrustStore) ModelBits(m block.SizeModel) int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return int64(len(t.headers))*int64(m.ConstantBits()) + t.totalRefs*int64(m.FH)
+}

@@ -1,0 +1,263 @@
+// Package node is the live 2LDAG runtime: one Node per IoT device,
+// combining the core engine (block generation, digest cache), the
+// Algorithm 4 responder, a PoP validator and a transport. Nodes
+// exchange real wire messages — digest announcements on generation
+// (Sec. III-D), REQ_CHILD/RPY_CHILD and block retrievals during PoP
+// (Sec. IV) — over either the in-memory fabric or TCP.
+//
+// The runtime also enforces the receiver-side DoS defense of Sec.
+// IV-D5: a neighbor announcing blocks faster than the proof-of-work
+// difficulty plausibly allows is banned and its digests are discarded.
+package node
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/core"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
+	"github.com/twoldag/twoldag/internal/topology"
+	"github.com/twoldag/twoldag/internal/transport"
+	"github.com/twoldag/twoldag/internal/wire"
+)
+
+// Config assembles a node.
+type Config struct {
+	// Key is the node's signing identity.
+	Key identity.KeyPair
+	// Params are the shared consensus constants.
+	Params block.Params
+	// Topo is the shared physical topology.
+	Topo *topology.Graph
+	// Ring is the shared public-key registry.
+	Ring *identity.Ring
+	// Transport carries this node's traffic (ownership passes to the
+	// node; Close closes it).
+	Transport transport.Transport
+	// Gamma is the PoP consensus threshold γ.
+	Gamma int
+	// RequestTimeout is τ for PoP requests (0 = transport default).
+	RequestTimeout time.Duration
+	// Strategy overrides WPS.
+	Strategy core.SelectionStrategy
+	// AnnounceWindow and AnnounceLimit bound per-neighbor digest
+	// announcements: more than AnnounceLimit digests within
+	// AnnounceWindow bans the sender (0 values disable the guard).
+	AnnounceWindow time.Duration
+	AnnounceLimit  int
+}
+
+// Node is a running 2LDAG participant.
+type Node struct {
+	cfg    Config
+	engine *core.Engine
+	rpc    *transport.RPC
+	bl     *ledger.Blacklist
+
+	mu       sync.Mutex
+	lastAnns map[identity.NodeID][]time.Time
+
+	slot func() uint32
+
+	wg      sync.WaitGroup
+	closeMu sync.Mutex
+	closed  bool
+}
+
+// New builds and starts a node's message loop. The node serves
+// responder traffic immediately.
+func New(cfg Config) (*Node, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("node: Config.Transport is required")
+	}
+	if cfg.Ring == nil {
+		return nil, errors.New("node: Config.Ring is required")
+	}
+	eng, err := core.NewEngine(cfg.Key, cfg.Params, cfg.Topo)
+	if err != nil {
+		return nil, fmt.Errorf("node: %w", err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		engine:   eng,
+		bl:       ledger.NewBlacklist(0, 0),
+		lastAnns: make(map[identity.NodeID][]time.Time),
+		slot:     wallClockSlot,
+	}
+	n.rpc = transport.NewRPC(cfg.Transport, n.handle, cfg.RequestTimeout)
+	return n, nil
+}
+
+// wallClockSlot stamps blocks with Unix seconds.
+func wallClockSlot() uint32 { return uint32(time.Now().Unix()) }
+
+// SetClock overrides the block timestamp source (tests, simulations).
+func (n *Node) SetClock(f func() uint32) {
+	if f != nil {
+		n.slot = f
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() identity.NodeID { return n.cfg.Key.ID }
+
+// Engine exposes the node's 2LDAG state machine.
+func (n *Node) Engine() *core.Engine { return n.engine }
+
+// Blacklist exposes the node's penalty book (Sec. IV-D6).
+func (n *Node) Blacklist() *ledger.Blacklist { return n.bl }
+
+// handle serves unsolicited messages: digest announcements and
+// responder duties.
+func (n *Node) handle(env transport.Envelope) {
+	msg := env.Msg
+	ctx := context.Background()
+	switch msg.Kind {
+	case wire.KindDigestAnnounce:
+		n.onAnnounce(msg)
+	case wire.KindReqChild:
+		if h, err := n.engine.Responder().ChildFor(msg.Digest); err == nil {
+			_ = n.rpc.Reply(ctx, msg.From, wire.NewRpyChild(msg, h))
+		} else {
+			_ = n.rpc.Reply(ctx, msg.From, wire.NewNotFound(msg))
+		}
+	case wire.KindGetBlock:
+		if b, err := n.engine.Responder().Block(msg.Ref); err == nil {
+			_ = n.rpc.Reply(ctx, msg.From, wire.NewBlockResp(msg, b))
+		} else {
+			_ = n.rpc.Reply(ctx, msg.From, wire.NewNotFound(msg))
+		}
+	default:
+		// Unknown unsolicited kinds are dropped (authenticated peers
+		// never send them).
+	}
+}
+
+// onAnnounce ingests a digest announcement, applying the DoS rate
+// guard before accepting it into A_i.
+func (n *Node) onAnnounce(msg *wire.Message) {
+	from := msg.From
+	if n.bl.Banned(from) {
+		return
+	}
+	if n.cfg.AnnounceWindow > 0 && n.cfg.AnnounceLimit > 0 {
+		now := time.Now()
+		n.mu.Lock()
+		keep := n.lastAnns[from][:0]
+		for _, t := range n.lastAnns[from] {
+			if now.Sub(t) <= n.cfg.AnnounceWindow {
+				keep = append(keep, t)
+			}
+		}
+		keep = append(keep, now)
+		n.lastAnns[from] = keep
+		over := len(keep) > n.cfg.AnnounceLimit
+		n.mu.Unlock()
+		if over {
+			// Flooding faster than the PoW difficulty allows: ban
+			// (Sec. IV-D5 — "a node may ban a neighbor that generates
+			// blocks quicker than the expected time to solve the
+			// puzzle").
+			for !n.bl.Banned(from) {
+				n.bl.ReportFailure(from)
+			}
+			return
+		}
+	}
+	_ = n.engine.OnDigest(from, msg.Digest) // non-neighbors rejected inside
+}
+
+// Generate produces the node's next block from body and announces its
+// digest to every neighbor.
+func (n *Node) Generate(ctx context.Context, body []byte) (*block.Block, error) {
+	b, d, err := n.engine.Generate(n.slot(), body)
+	if err != nil {
+		return nil, err
+	}
+	for _, nb := range n.cfg.Topo.Neighbors(n.ID()) {
+		msg := wire.NewDigestAnnounce(n.ID(), nb, d, n.rpc.NextNonce())
+		if err := n.rpc.Transport().Send(ctx, nb, msg); err != nil {
+			// Radio loss: neighbors that miss the digest pick up the
+			// next one (A_i keeps only the latest anyway).
+			continue
+		}
+	}
+	return b, nil
+}
+
+// Audit verifies the given block via PoP over the live network and
+// returns the consensus result.
+func (n *Node) Audit(ctx context.Context, ref block.Ref) (*core.Result, error) {
+	v, err := n.engine.Validator(n.cfg.Gamma, n.cfg.Ring, func(c *core.ValidatorConfig) {
+		c.Strategy = n.cfg.Strategy
+		c.Blacklist = n.bl
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.Verify(ctx, ref, &rpcFetcher{node: n})
+}
+
+// Close stops serving and releases the transport.
+func (n *Node) Close() error {
+	n.closeMu.Lock()
+	defer n.closeMu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
+	err := n.rpc.Close()
+	n.wg.Wait()
+	return err
+}
+
+// rpcFetcher adapts the RPC layer to the core.Fetcher seam.
+type rpcFetcher struct {
+	node *Node
+}
+
+var _ core.Fetcher = (*rpcFetcher)(nil)
+
+// RequestChild implements core.Fetcher over REQ_CHILD/RPY_CHILD.
+func (f *rpcFetcher) RequestChild(ctx context.Context, j identity.NodeID, target digest.Digest) (*block.Header, error) {
+	self := f.node.ID()
+	resp, err := f.node.rpc.Call(ctx, j, func(corr, nonce uint64) *wire.Message {
+		return wire.NewReqChild(self, j, target, corr, nonce)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrTimeout, err)
+	}
+	if resp.Kind != wire.KindRpyChild {
+		return nil, core.ErrNoChild
+	}
+	h, err := resp.DecodeHeaderPayload()
+	if err != nil {
+		return nil, fmt.Errorf("node: bad RPY_CHILD from %v: %w", j, err)
+	}
+	return h, nil
+}
+
+// FetchBlock implements core.Fetcher over GET_BLOCK/BLOCK_RESP.
+func (f *rpcFetcher) FetchBlock(ctx context.Context, ref block.Ref) (*block.Block, error) {
+	self := f.node.ID()
+	resp, err := f.node.rpc.Call(ctx, ref.Node, func(corr, nonce uint64) *wire.Message {
+		return wire.NewGetBlock(self, ref.Node, ref, corr, nonce)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrTimeout, err)
+	}
+	if resp.Kind != wire.KindBlockResp {
+		return nil, ledger.ErrNotFound
+	}
+	b, err := resp.DecodeBlockPayload()
+	if err != nil {
+		return nil, fmt.Errorf("node: bad BLOCK_RESP from %v: %w", ref.Node, err)
+	}
+	return b, nil
+}

@@ -1,0 +1,121 @@
+package pow
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"github.com/twoldag/twoldag/internal/digest"
+)
+
+func TestMeetsZeroDifficulty(t *testing.T) {
+	if !Meets(digest.Sum([]byte("anything")), 0) {
+		t.Fatal("zero difficulty must accept every digest")
+	}
+}
+
+func TestMeetsThreshold(t *testing.T) {
+	d := digest.Digest{0x00, 0x7F} // exactly 9 leading zero bits
+	if !Meets(d, 9) {
+		t.Fatal("digest with 9 zero bits should meet difficulty 9")
+	}
+	if Meets(d, 10) {
+		t.Fatal("digest with 9 zero bits should not meet difficulty 10")
+	}
+}
+
+func TestSearchAndVerify(t *testing.T) {
+	prefix := []byte("block header fields")
+	nonce, d, err := SearchPrefix(prefix, 10, 0)
+	if err != nil {
+		t.Fatalf("SearchPrefix: %v", err)
+	}
+	if !Meets(d, 10) {
+		t.Fatalf("returned digest %s does not meet difficulty", d.Hex())
+	}
+	if !VerifyPrefix(prefix, nonce, 10) {
+		t.Fatal("VerifyPrefix rejected the found nonce")
+	}
+	if VerifyPrefix(append(prefix, 'x'), nonce, 10) {
+		// With overwhelming probability a different prefix fails.
+		t.Fatal("VerifyPrefix accepted nonce for a different prefix")
+	}
+}
+
+func TestSearchReturnsSmallestNonce(t *testing.T) {
+	prefix := []byte("smallest")
+	nonce, _, err := SearchPrefix(prefix, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := uint32(0); n < nonce; n++ {
+		if VerifyPrefix(prefix, n, 6) {
+			t.Fatalf("nonce %d also solves but %d was returned", n, nonce)
+		}
+	}
+}
+
+func TestSearchExhausted(t *testing.T) {
+	_, _, err := SearchPrefix([]byte("hard"), 64, 16)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+}
+
+func TestAppendNonceLittleEndian(t *testing.T) {
+	got := AppendNonce([]byte{0xAA}, 0x01020304)
+	want := []byte{0xAA, 0x04, 0x03, 0x02, 0x01}
+	if string(got) != string(want) {
+		t.Fatalf("AppendNonce = %x, want %x", got, want)
+	}
+}
+
+func TestExpectedTries(t *testing.T) {
+	if ExpectedTries(0) != 1 {
+		t.Fatal("difficulty 0 should need one expected try")
+	}
+	if ExpectedTries(8) != 256 {
+		t.Fatal("difficulty 8 should need 256 expected tries")
+	}
+	if ExpectedTries(100) != 1<<63 {
+		t.Fatal("expected tries should saturate")
+	}
+}
+
+func TestQuickSearchSolutionsVerify(t *testing.T) {
+	f := func(prefix []byte) bool {
+		nonce, d, err := SearchPrefix(prefix, 4, 0)
+		if err != nil {
+			return false
+		}
+		return Meets(d, 4) && VerifyPrefix(prefix, nonce, 4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSearchPrefixDifficulty8(b *testing.B) {
+	prefix := []byte("benchmark prefix for pow search, difficulty 8")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		prefix[0] = byte(i)
+		if _, _, err := SearchPrefix(prefix, 8, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyPrefix(b *testing.B) {
+	prefix := []byte("benchmark verify")
+	nonce, _, err := SearchPrefix(prefix, 8, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !VerifyPrefix(prefix, nonce, 8) {
+			b.Fatal("verification failed")
+		}
+	}
+}

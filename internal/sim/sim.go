@@ -1,0 +1,562 @@
+// Package sim is the slotted-time simulator behind every figure in the
+// paper's evaluation (Sec. VI).
+//
+// Time is divided into slots. Each node generates at most one block per
+// slot (at its configured period), announces the header digest to its
+// radio neighbors, and — once the network is older than |V| slots —
+// audits one past block per generated block by running the real PoP
+// validator (internal/core) over an in-process fetcher that accounts
+// every transmission with the paper's analytic size model and injects
+// the configured attack behaviors.
+//
+// Storage accounting per node = S_i (own blocks, Eq. 2) + H_i (verified
+// headers, Prop. 2) + optionally the full blocks retained from
+// successful audits (see DESIGN.md on the Fig. 7 calibration).
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/twoldag/twoldag/internal/attack"
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/core"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
+	"github.com/twoldag/twoldag/internal/metrics"
+	"github.com/twoldag/twoldag/internal/pow"
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// ErrBadConfig reports invalid simulation parameters.
+var ErrBadConfig = errors.New("sim: invalid config")
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Graph is the physical topology; when nil, Topo generates one.
+	Graph *topology.Graph
+	// Topo is used when Graph is nil.
+	Topo topology.Config
+	// Seed drives every random choice (placement uses Topo.Seed).
+	Seed int64
+	// Slots is the horizon T.
+	Slots int
+	// BodyBytes is C in bytes (0.1/0.5/1 MB in the paper).
+	BodyBytes int
+	// Gamma is the tolerated malicious count γ.
+	Gamma int
+	// Malicious is how many nodes actually behave maliciously.
+	Malicious int
+	// Behavior is the malicious behavior kind (default silent).
+	Behavior attack.Kind
+	// RandomPeriodMax ≥ 2 draws each node's generation period uniformly
+	// from {1..RandomPeriodMax}; otherwise every node generates each
+	// slot.
+	RandomPeriodMax int
+	// Strategy overrides WPS (ablations).
+	Strategy core.SelectionStrategy
+	// DisableTrust turns off H_i caching (TPS ablation).
+	DisableTrust bool
+	// DisableAudits turns off per-generation audits (used by the
+	// consensus-probe experiment, which runs its own verifications).
+	DisableAudits bool
+	// RetainVerifiedBlocks adds retrieved blocks to storage accounting.
+	RetainVerifiedBlocks bool
+	// VerifyLag is the minimum age (slots) of auditable blocks;
+	// 0 means |V| per Sec. VI.
+	VerifyLag int
+	// Difficulty is the PoW difficulty ρ; simulations default to 0 so
+	// runs stay fast (cost accounting never depends on ρ).
+	Difficulty pow.Difficulty
+	// SyntheticBodyBytes is the materialized body size (the accounted
+	// size is always BodyBytes); 0 means 32.
+	SyntheticBodyBytes int
+	// StepBudget caps per-audit probing (0 = core default).
+	StepBudget int
+}
+
+func (c Config) validate() error {
+	if c.Slots < 0 {
+		return fmt.Errorf("%w: %d slots", ErrBadConfig, c.Slots)
+	}
+	if c.BodyBytes <= 0 {
+		return fmt.Errorf("%w: body %d bytes", ErrBadConfig, c.BodyBytes)
+	}
+	if c.Gamma < 0 {
+		return fmt.Errorf("%w: gamma %d", ErrBadConfig, c.Gamma)
+	}
+	if c.Malicious < 0 {
+		return fmt.Errorf("%w: malicious %d", ErrBadConfig, c.Malicious)
+	}
+	return nil
+}
+
+// loggedBlock records one generated block for audit-target selection.
+type loggedBlock struct {
+	ref  block.Ref
+	slot int
+}
+
+// Sim is a running simulation. Build with New; not safe for concurrent
+// use.
+type Sim struct {
+	cfg   Config
+	graph *topology.Graph
+	model block.SizeModel
+	ring  *identity.Ring
+	rng   *rand.Rand
+
+	ids        []identity.NodeID
+	idx        map[identity.NodeID]int
+	engines    map[identity.NodeID]*core.Engine
+	validators map[identity.NodeID]*core.Validator
+	behaviors  map[identity.NodeID]attack.Behavior
+	periods    []int
+
+	comm         []metrics.CommCounter
+	retainedBits []int64
+	blockLog     []loggedBlock
+	slot         int
+
+	audits, failures int
+
+	report *Report
+}
+
+// Report accumulates the per-slot series and final per-node samples the
+// figures need.
+type Report struct {
+	// AvgStorageBits[s] is the mean per-node storage after slot s+1.
+	AvgStorageBits []int64
+	// AvgCommBits / AvgConstructionBits / AvgConsensusBits are mean
+	// cumulative per-node transmissions after each slot.
+	AvgCommBits         []int64
+	AvgConstructionBits []int64
+	AvgConsensusBits    []int64
+	// Final per-node samples (CDF inputs).
+	NodeStorageBits []int64
+	NodeCommBits    []int64
+	// Audits/Failures count PoP verifications run as audit duty.
+	Audits, Failures int
+	// Blocks is the total generated block count (Prop. 1's |B|).
+	Blocks int
+}
+
+// New builds a simulation.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Graph
+	if g == nil {
+		var err error
+		g, err = topology.Generate(cfg.Topo)
+		if err != nil {
+			return nil, fmt.Errorf("sim: generating topology: %w", err)
+		}
+	}
+	if cfg.SyntheticBodyBytes <= 0 {
+		cfg.SyntheticBodyBytes = 32
+	}
+	if cfg.VerifyLag <= 0 {
+		cfg.VerifyLag = g.Len()
+	}
+	if cfg.Behavior == "" {
+		cfg.Behavior = attack.KindSilent
+	}
+
+	params := block.Params{
+		Version:    block.CurrentVersion,
+		Difficulty: cfg.Difficulty,
+		LeafSize:   1024,
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ids := g.Nodes()
+	s := &Sim{
+		cfg:          cfg,
+		graph:        g,
+		model:        block.DefaultSizeModel(cfg.BodyBytes),
+		rng:          rng,
+		ids:          ids,
+		idx:          make(map[identity.NodeID]int, len(ids)),
+		engines:      make(map[identity.NodeID]*core.Engine, len(ids)),
+		validators:   make(map[identity.NodeID]*core.Validator, len(ids)),
+		comm:         make([]metrics.CommCounter, len(ids)),
+		retainedBits: make([]int64, len(ids)),
+		periods:      make([]int, len(ids)),
+		report:       &Report{},
+	}
+	var pairs []identity.KeyPair
+	for i, id := range ids {
+		s.idx[id] = i
+		key := identity.Deterministic(id, cfg.Seed)
+		pairs = append(pairs, key)
+		eng, err := core.NewEngine(key, params, g)
+		if err != nil {
+			return nil, fmt.Errorf("sim: engine %v: %w", id, err)
+		}
+		s.engines[id] = eng
+		s.periods[i] = 1
+		if cfg.RandomPeriodMax >= 2 {
+			s.periods[i] = 1 + rng.Intn(cfg.RandomPeriodMax)
+		}
+	}
+	ring, err := identity.RingFor(pairs)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building ring: %w", err)
+	}
+	s.ring = ring
+	s.behaviors = attack.Assign(ids, cfg.Malicious, cfg.Behavior, rng)
+	for _, id := range ids {
+		eng := s.engines[id]
+		trust := eng.Trust()
+		if cfg.DisableTrust {
+			trust = nil
+		}
+		v, err := core.NewValidator(core.ValidatorConfig{
+			Self:       id,
+			Gamma:      cfg.Gamma,
+			Params:     params,
+			Ring:       ring,
+			Topo:       g,
+			Trust:      trust,
+			Strategy:   cfg.Strategy,
+			RNG:        rng,
+			StepBudget: cfg.StepBudget,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: validator %v: %w", id, err)
+		}
+		s.validators[id] = v
+	}
+	return s, nil
+}
+
+// Graph returns the physical topology.
+func (s *Sim) Graph() *topology.Graph { return s.graph }
+
+// Ring returns the shared public-key registry.
+func (s *Sim) Ring() *identity.Ring { return s.ring }
+
+// Model returns the analytic size model in use.
+func (s *Sim) Model() block.SizeModel { return s.model }
+
+// Stores returns every node's block store (for DAG analysis).
+func (s *Sim) Stores() map[identity.NodeID]*ledger.Store {
+	out := make(map[identity.NodeID]*ledger.Store, len(s.ids))
+	for id, e := range s.engines {
+		out[id] = e.Store()
+	}
+	return out
+}
+
+// MaliciousNodes returns the IDs assigned a malicious behavior, in
+// arbitrary order.
+func (s *Sim) MaliciousNodes() []identity.NodeID {
+	out := make([]identity.NodeID, 0, len(s.behaviors))
+	for id := range s.behaviors {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Slot returns the number of completed slots.
+func (s *Sim) Slot() int { return s.slot }
+
+// headerModelBits is f_c + f_H·|Δ| for a concrete header.
+func (s *Sim) headerModelBits(h *block.Header) int64 {
+	return int64(s.model.ConstantBits() + s.model.FH*len(h.Digests))
+}
+
+// blockModelBits adds the C-bit body (Eq. 2).
+func (s *Sim) blockModelBits(h *block.Header) int64 {
+	return s.headerModelBits(h) + int64(s.model.C)
+}
+
+// Step advances one slot: generation, announcement and audit duty.
+func (s *Sim) Step() error {
+	s.slot++
+	for i, id := range s.ids {
+		if (s.slot-1)%s.periods[i] != 0 {
+			continue
+		}
+		if err := s.generate(id); err != nil {
+			return err
+		}
+		if s.cfg.DisableAudits {
+			continue
+		}
+		if _, ok := s.behaviors[id]; ok {
+			continue // malicious nodes skip audit duty
+		}
+		s.auditDuty(id)
+	}
+	s.snapshot()
+	return nil
+}
+
+// generate produces node id's block for this slot and announces its
+// digest.
+func (s *Sim) generate(id identity.NodeID) error {
+	body := make([]byte, s.cfg.SyntheticBodyBytes)
+	s.rng.Read(body)
+	b, d, err := s.engines[id].Generate(uint32(s.slot), body)
+	if err != nil {
+		return fmt.Errorf("sim: slot %d: %w", s.slot, err)
+	}
+	i := s.idx[id]
+	// DAG construction traffic: one digest per neighbor (Sec. III-D).
+	deg := s.graph.Degree(id)
+	s.comm[i].Add(metrics.Construction, int64(deg)*int64(s.model.DigestBits()))
+	for _, nb := range s.graph.Neighbors(id) {
+		if err := s.engines[nb].OnDigest(id, d); err != nil {
+			return fmt.Errorf("sim: announcing %v -> %v: %w", id, nb, err)
+		}
+	}
+	s.blockLog = append(s.blockLog, loggedBlock{ref: b.Header.Ref(), slot: s.slot})
+	s.report.Blocks++
+	return nil
+}
+
+// auditDuty runs one PoP verification of a random sufficiently old
+// block (Sec. VI: a node acts as validator whenever it generates).
+func (s *Sim) auditDuty(id identity.NodeID) {
+	target, ok := s.pickTarget(id)
+	if !ok {
+		return
+	}
+	s.audits++
+	res, err := s.validators[id].Verify(context.Background(), target, &simFetcher{sim: s, validator: id})
+	if err != nil || !res.Consensus {
+		s.failures++
+		return
+	}
+	if s.cfg.RetainVerifiedBlocks {
+		// The validator holds on to the retrieved block (header+body).
+		s.retainedBits[s.idx[id]] += s.blockModelBits(res.Path[0].Header)
+	}
+}
+
+// pickTarget selects a uniformly random block at least VerifyLag slots
+// old, not generated by the validator itself.
+func (s *Sim) pickTarget(validator identity.NodeID) (block.Ref, bool) {
+	cutoff := s.slot - s.cfg.VerifyLag
+	if cutoff < 1 {
+		return block.Ref{}, false
+	}
+	// blockLog is sorted by slot; find the eligible prefix.
+	hi := 0
+	for hi < len(s.blockLog) && s.blockLog[hi].slot <= cutoff {
+		hi++
+	}
+	if hi == 0 {
+		return block.Ref{}, false
+	}
+	for tries := 0; tries < 8; tries++ {
+		cand := s.blockLog[s.rng.Intn(hi)]
+		if cand.ref.Node != validator {
+			return cand.ref, true
+		}
+	}
+	return block.Ref{}, false
+}
+
+// snapshot appends this slot's aggregate points to the report.
+func (s *Sim) snapshot() {
+	var storage, comm, constr, cons int64
+	for i, id := range s.ids {
+		storage += s.storageBits(id)
+		comm += s.comm[i].TotalBits()
+		constr += s.comm[i].ConstructionBits
+		cons += s.comm[i].ConsensusBits
+	}
+	n := int64(len(s.ids))
+	r := s.report
+	r.AvgStorageBits = append(r.AvgStorageBits, storage/n)
+	r.AvgCommBits = append(r.AvgCommBits, comm/n)
+	r.AvgConstructionBits = append(r.AvgConstructionBits, constr/n)
+	r.AvgConsensusBits = append(r.AvgConsensusBits, cons/n)
+}
+
+// storageBits is the node's total footprint under the size model.
+func (s *Sim) storageBits(id identity.NodeID) int64 {
+	eng := s.engines[id]
+	total := eng.Store().ModelBits(s.model) + s.retainedBits[s.idx[id]]
+	if !s.cfg.DisableTrust {
+		total += eng.Trust().ModelBits(s.model)
+	}
+	return total
+}
+
+// Run executes cfg.Slots steps and finalizes the report.
+func (s *Sim) Run() (*Report, error) {
+	for s.slot < s.cfg.Slots {
+		if err := s.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return s.Finalize(), nil
+}
+
+// Finalize fills the per-node samples and returns the report.
+func (s *Sim) Finalize() *Report {
+	r := s.report
+	r.Audits, r.Failures = s.audits, s.failures
+	r.NodeStorageBits = make([]int64, len(s.ids))
+	r.NodeCommBits = make([]int64, len(s.ids))
+	for i, id := range s.ids {
+		r.NodeStorageBits[i] = s.storageBits(id)
+		r.NodeCommBits[i] = s.comm[i].TotalBits()
+	}
+	return r
+}
+
+// Verify runs a one-off PoP verification from the given validator with
+// a fresh, cache-less validator instance (used by the consensus-probe
+// experiment so probes stay independent).
+func (s *Sim) Verify(validator identity.NodeID, target block.Ref) (*core.Result, error) {
+	v, err := core.NewValidator(core.ValidatorConfig{
+		Self:       validator,
+		Gamma:      s.cfg.Gamma,
+		Params:     block.Params{Version: block.CurrentVersion, Difficulty: s.cfg.Difficulty, LeafSize: 1024},
+		Ring:       s.ring,
+		Topo:       s.graph,
+		Strategy:   s.cfg.Strategy,
+		RNG:        s.rng,
+		StepBudget: s.cfg.StepBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.Verify(context.Background(), target, &simFetcher{sim: s, validator: validator})
+}
+
+// BlockAt returns the ref of the i-th generated block and its slot.
+func (s *Sim) BlockAt(i int) (block.Ref, int, error) {
+	if i < 0 || i >= len(s.blockLog) {
+		return block.Ref{}, 0, fmt.Errorf("%w: block index %d of %d", ErrBadConfig, i, len(s.blockLog))
+	}
+	lb := s.blockLog[i]
+	return lb.ref, lb.slot, nil
+}
+
+// BlockCount returns the number of generated blocks.
+func (s *Sim) BlockCount() int { return len(s.blockLog) }
+
+// IsMalicious reports whether id carries a malicious behavior.
+func (s *Sim) IsMalicious(id identity.NodeID) bool {
+	_, ok := s.behaviors[id]
+	return ok
+}
+
+// simFetcher resolves PoP requests against the simulation state,
+// applying attack behaviors and charging every transmission to the
+// paper's size model.
+type simFetcher struct {
+	sim       *Sim
+	validator identity.NodeID
+}
+
+var _ core.Fetcher = (*simFetcher)(nil)
+
+func (f *simFetcher) behavior(j identity.NodeID) attack.Behavior {
+	if b, ok := f.sim.behaviors[j]; ok {
+		return b
+	}
+	return attack.Honest{}
+}
+
+// RequestChild implements core.Fetcher with Algorithm 4 semantics.
+func (f *simFetcher) RequestChild(_ context.Context, j identity.NodeID, target digest.Digest) (*block.Header, error) {
+	s := f.sim
+	// Validator transmits REQ_CHILD (a digest-sized request).
+	s.comm[s.idx[f.validator]].Add(metrics.Consensus, int64(s.model.DigestBits()))
+
+	var h *block.Header
+	var err error
+	if eng, ok := s.engines[j]; ok {
+		h, err = core.NewResponder(eng.Store()).ChildFor(target)
+	} else {
+		err = core.ErrTimeout
+	}
+	beh := f.behavior(j)
+	h, err = beh.OnChildRequest(f.validator, j, target, h, err)
+	if beh.Responds() {
+		if _, ok := s.engines[j]; ok {
+			if h != nil {
+				// Responder transmits RPY_CHILD with the header.
+				s.comm[s.idx[j]].Add(metrics.Consensus, s.headerModelBits(h))
+			} else {
+				// Negative reply: digest-sized NAK.
+				s.comm[s.idx[j]].Add(metrics.Consensus, int64(s.model.DigestBits()))
+			}
+		}
+	}
+	return h, err
+}
+
+// FetchBlock implements core.Fetcher.
+func (f *simFetcher) FetchBlock(_ context.Context, ref block.Ref) (*block.Block, error) {
+	s := f.sim
+	s.comm[s.idx[f.validator]].Add(metrics.Consensus, int64(s.model.DigestBits()))
+
+	var b *block.Block
+	var err error
+	if eng, ok := s.engines[ref.Node]; ok {
+		b, err = core.NewResponder(eng.Store()).Block(ref)
+	} else {
+		err = core.ErrTimeout
+	}
+	beh := f.behavior(ref.Node)
+	b, err = beh.OnBlockRequest(f.validator, ref.Node, b, err)
+	if beh.Responds() {
+		if _, ok := s.engines[ref.Node]; ok {
+			if b != nil {
+				s.comm[s.idx[ref.Node]].Add(metrics.Consensus, s.blockModelBits(&b.Header))
+			} else {
+				s.comm[s.idx[ref.Node]].Add(metrics.Consensus, int64(s.model.DigestBits()))
+			}
+		}
+	}
+	return b, err
+}
+
+// StorageSeries renders per-slot average storage in MB.
+func (r *Report) StorageSeries(name string) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i, bits := range r.AvgStorageBits {
+		s.Append(float64(i+1), metrics.BitsToMB(bits))
+	}
+	return s
+}
+
+// CommSeries renders per-slot average cumulative total transmissions in
+// Mb.
+func (r *Report) CommSeries(name string) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i, bits := range r.AvgCommBits {
+		s.Append(float64(i+1), metrics.BitsToMb(bits))
+	}
+	return s
+}
+
+// ConstructionSeries renders the Fig. 8(b) line.
+func (r *Report) ConstructionSeries(name string) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i, bits := range r.AvgConstructionBits {
+		s.Append(float64(i+1), metrics.BitsToMb(bits))
+	}
+	return s
+}
+
+// ConsensusSeries renders the Fig. 8(c) line.
+func (r *Report) ConsensusSeries(name string) *metrics.Series {
+	s := &metrics.Series{Name: name}
+	for i, bits := range r.AvgConsensusBits {
+		s.Append(float64(i+1), metrics.BitsToMb(bits))
+	}
+	return s
+}

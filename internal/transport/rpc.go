@@ -1,0 +1,143 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/wire"
+)
+
+// ErrRPCTimeout reports an expired request timeout τ (Algorithm 3
+// line 19).
+var ErrRPCTimeout = errors.New("transport: request timed out")
+
+// DefaultRPCTimeout is the default τ.
+const DefaultRPCTimeout = 2 * time.Second
+
+// Handler consumes unsolicited (non-response) messages.
+type Handler func(Envelope)
+
+// RPC multiplexes request/response exchanges over a Transport. It owns
+// the transport's inbox: responses are matched to pending calls by
+// correlation ID; everything else goes to the handler. Close the RPC
+// (not the transport directly) to shut down.
+type RPC struct {
+	tr      Transport
+	handler Handler
+	timeout time.Duration
+
+	mu      sync.Mutex
+	pending map[uint64]chan *wire.Message
+
+	corr  atomic.Uint64
+	nonce atomic.Uint64
+
+	wg sync.WaitGroup
+}
+
+// NewRPC wraps a transport. handler may be nil when the node only
+// issues requests. timeout 0 means DefaultRPCTimeout.
+func NewRPC(tr Transport, handler Handler, timeout time.Duration) *RPC {
+	if timeout <= 0 {
+		timeout = DefaultRPCTimeout
+	}
+	r := &RPC{
+		tr:      tr,
+		handler: handler,
+		timeout: timeout,
+		pending: make(map[uint64]chan *wire.Message),
+	}
+	r.wg.Add(1)
+	go r.dispatch()
+	return r
+}
+
+// Transport exposes the wrapped transport (for broadcasts).
+func (r *RPC) Transport() Transport { return r.tr }
+
+// NextNonce returns a fresh anti-replay nonce.
+func (r *RPC) NextNonce() uint64 { return r.nonce.Add(1) }
+
+func (r *RPC) dispatch() {
+	defer r.wg.Done()
+	for env := range r.tr.Inbox() {
+		if env.Msg.Kind.IsResponse() && env.Msg.Corr != 0 {
+			r.mu.Lock()
+			ch, ok := r.pending[env.Msg.Corr]
+			if ok {
+				delete(r.pending, env.Msg.Corr)
+			}
+			r.mu.Unlock()
+			if ok {
+				ch <- env.Msg // buffered; never blocks
+				continue
+			}
+			// Unmatched response (late or replayed): drop.
+			continue
+		}
+		if r.handler != nil {
+			r.handler(env)
+		}
+	}
+}
+
+// Call sends the message produced by build (which receives a fresh
+// correlation ID and nonce) and waits for the matching response.
+func (r *RPC) Call(ctx context.Context, to identity.NodeID, build func(corr, nonce uint64) *wire.Message) (*wire.Message, error) {
+	corr := r.corr.Add(1)
+	ch := make(chan *wire.Message, 1)
+	r.mu.Lock()
+	r.pending[corr] = ch
+	r.mu.Unlock()
+	cleanup := func() {
+		r.mu.Lock()
+		delete(r.pending, corr)
+		r.mu.Unlock()
+	}
+
+	msg := build(corr, r.NextNonce())
+	if err := r.tr.Send(ctx, to, msg); err != nil {
+		cleanup()
+		return nil, err
+	}
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	select {
+	case resp := <-ch:
+		if resp == nil {
+			return nil, ErrClosed // RPC shut down mid-call
+		}
+		return resp, nil
+	case <-timer.C:
+		cleanup()
+		return nil, fmt.Errorf("%w: %v after %v", ErrRPCTimeout, to, r.timeout)
+	case <-ctx.Done():
+		cleanup()
+		return nil, ctx.Err()
+	}
+}
+
+// Reply sends a response message (correlation already set by the
+// response constructors in package wire).
+func (r *RPC) Reply(ctx context.Context, to identity.NodeID, msg *wire.Message) error {
+	return r.tr.Send(ctx, to, msg)
+}
+
+// Close shuts down the transport and waits for the dispatch loop.
+func (r *RPC) Close() error {
+	err := r.tr.Close()
+	r.wg.Wait()
+	// Fail any still-pending calls.
+	r.mu.Lock()
+	for corr, ch := range r.pending {
+		close(ch)
+		delete(r.pending, corr)
+	}
+	r.mu.Unlock()
+	return err
+}

@@ -1,0 +1,44 @@
+// Package transport carries 2LDAG wire messages between nodes. Two
+// implementations are provided: an in-memory network with injectable
+// latency, loss and partitions (deterministic tests, single-process
+// deployments) and a TCP transport with length-prefixed frames (real
+// distributed deployments). An RPC layer adds request/response
+// correlation with timeouts τ on top of either, which is what the PoP
+// validator's REQ_CHILD exchange (Algorithm 3 line 19) requires.
+package transport
+
+import (
+	"context"
+	"errors"
+
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/wire"
+)
+
+// Sentinel errors.
+var (
+	ErrClosed        = errors.New("transport: closed")
+	ErrUnknownPeer   = errors.New("transport: unknown peer")
+	ErrDuplicatePeer = errors.New("transport: peer already registered")
+	ErrBackpressure  = errors.New("transport: peer inbox full, message dropped")
+)
+
+// Envelope is a received message with its link-layer sender.
+type Envelope struct {
+	From identity.NodeID
+	Msg  *wire.Message
+}
+
+// Transport sends and receives wire messages for one node.
+type Transport interface {
+	// Self returns the local node ID.
+	Self() identity.NodeID
+	// Send delivers msg to the peer. Delivery is best-effort: lossy
+	// networks may drop (ErrBackpressure) and radio neighbors may be
+	// unreachable.
+	Send(ctx context.Context, to identity.NodeID, msg *wire.Message) error
+	// Inbox streams received messages until the transport closes.
+	Inbox() <-chan Envelope
+	// Close releases resources and closes the inbox.
+	Close() error
+}

@@ -1,0 +1,330 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/wire"
+)
+
+func announce(from, to identity.NodeID, tag string) *wire.Message {
+	return wire.NewDigestAnnounce(from, to, digest.Sum([]byte(tag)), 1)
+}
+
+func TestInmemDelivery(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, err := n.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(context.Background(), 2, announce(1, 2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	env := <-b.Inbox()
+	if env.From != 1 || env.Msg.Kind != wire.KindDigestAnnounce {
+		t.Fatalf("wrong envelope: %+v", env)
+	}
+}
+
+func TestInmemDuplicateEndpoint(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	if _, err := n.Endpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint(1); !errors.Is(err, ErrDuplicatePeer) {
+		t.Fatalf("want ErrDuplicatePeer, got %v", err)
+	}
+}
+
+func TestInmemUnknownPeer(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	if err := a.Send(context.Background(), 9, announce(1, 9, "x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("want ErrUnknownPeer, got %v", err)
+	}
+}
+
+func TestInmemDropRule(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	b, _ := n.Endpoint(2)
+	n.SetDrop(func(from, to identity.NodeID, m *wire.Message) bool { return to == 2 })
+	if err := a.Send(context.Background(), 2, announce(1, 2, "x")); err != nil {
+		t.Fatalf("dropped send must not error: %v", err)
+	}
+	select {
+	case env := <-b.Inbox():
+		t.Fatalf("dropped message delivered: %+v", env)
+	case <-time.After(30 * time.Millisecond):
+	}
+}
+
+func TestInmemLatency(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	b, _ := n.Endpoint(2)
+	n.SetLatency(func(from, to identity.NodeID) time.Duration { return 40 * time.Millisecond })
+	start := time.Now()
+	if err := a.Send(context.Background(), 2, announce(1, 2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Inbox()
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestInmemMessageIsolation(t *testing.T) {
+	// Receiver must not share memory with the sender's message.
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	b, _ := n.Endpoint(2)
+	msg := announce(1, 2, "x")
+	if err := a.Send(context.Background(), 2, msg); err != nil {
+		t.Fatal(err)
+	}
+	msg.Digest[0] ^= 0xFF
+	env := <-b.Inbox()
+	if env.Msg.Digest == msg.Digest {
+		t.Fatal("message memory shared across the fabric")
+	}
+}
+
+func TestInmemRemoveAndClosed(t *testing.T) {
+	n := NewNetwork()
+	a, _ := n.Endpoint(1)
+	if _, err := n.Endpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(context.Background(), 2, announce(1, 2, "x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("want ErrUnknownPeer after removal, got %v", err)
+	}
+	if err := n.Remove(2); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(context.Background(), 1, announce(1, 1, "x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	if _, err := n.Endpoint(3); !errors.Is(err, ErrClosed) {
+		t.Fatalf("endpoint on closed network: %v", err)
+	}
+}
+
+func TestInmemBackpressureDrops(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	if _, err := n.Endpoint(2); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var lastErr error
+	for i := 0; i < inboxCapacity+10; i++ {
+		if err := a.Send(ctx, 2, announce(1, 2, "x")); err != nil {
+			lastErr = err
+		}
+	}
+	if !errors.Is(lastErr, ErrBackpressure) {
+		t.Fatalf("want ErrBackpressure on overflow, got %v", lastErr)
+	}
+}
+
+func TestRPCRoundTrip(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	b, _ := n.Endpoint(2)
+
+	// Node 2 answers every REQ_CHILD with NOT_FOUND.
+	var responder *RPC
+	responder = NewRPC(b, func(env Envelope) {
+		_ = responder.Reply(context.Background(), env.From, wire.NewNotFound(env.Msg))
+	}, time.Second)
+	defer responder.Close()
+
+	caller := NewRPC(a, nil, time.Second)
+	defer caller.Close()
+	resp, err := caller.Call(context.Background(), 2, func(corr, nonce uint64) *wire.Message {
+		return wire.NewReqChild(1, 2, digest.Sum([]byte("t")), corr, nonce)
+	})
+	if err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	if resp.Kind != wire.KindNotFound {
+		t.Fatalf("resp kind %v", resp.Kind)
+	}
+}
+
+func TestRPCTimeout(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	b, _ := n.Endpoint(2)
+	silent := NewRPC(b, func(Envelope) {}, time.Second) // never replies
+	defer silent.Close()
+	caller := NewRPC(a, nil, 50*time.Millisecond)
+	defer caller.Close()
+	_, err := caller.Call(context.Background(), 2, func(corr, nonce uint64) *wire.Message {
+		return wire.NewReqChild(1, 2, digest.Sum([]byte("t")), corr, nonce)
+	})
+	if !errors.Is(err, ErrRPCTimeout) {
+		t.Fatalf("want ErrRPCTimeout, got %v", err)
+	}
+}
+
+func TestRPCContextCancel(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	b, _ := n.Endpoint(2)
+	silent := NewRPC(b, func(Envelope) {}, time.Second)
+	defer silent.Close()
+	caller := NewRPC(a, nil, 10*time.Second)
+	defer caller.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := caller.Call(ctx, 2, func(corr, nonce uint64) *wire.Message {
+		return wire.NewReqChild(1, 2, digest.Sum([]byte("t")), corr, nonce)
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRPCConcurrentCalls(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, _ := n.Endpoint(1)
+	b, _ := n.Endpoint(2)
+	var responder *RPC
+	responder = NewRPC(b, func(env Envelope) {
+		_ = responder.Reply(context.Background(), env.From, wire.NewNotFound(env.Msg))
+	}, time.Second)
+	defer responder.Close()
+	caller := NewRPC(a, nil, time.Second)
+	defer caller.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = caller.Call(context.Background(), 2, func(corr, nonce uint64) *wire.Message {
+				return wire.NewReqChild(1, 2, digest.Sum([]byte{byte(i)}), corr, nonce)
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(2, b.Addr())
+	b.AddPeer(1, a.Addr())
+
+	if err := a.Send(context.Background(), 2, announce(1, 2, "hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-b.Inbox():
+		if env.From != 1 || env.Msg.Kind != wire.KindDigestAnnounce {
+			t.Fatalf("wrong envelope: %+v", env)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("TCP delivery timed out")
+	}
+}
+
+func TestTCPRPC(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer(2, b.Addr())
+	b.AddPeer(1, a.Addr())
+
+	var responder *RPC
+	responder = NewRPC(b, func(env Envelope) {
+		_ = responder.Reply(context.Background(), env.From, wire.NewNotFound(env.Msg))
+	}, time.Second)
+	defer responder.Close()
+	caller := NewRPC(a, nil, 2*time.Second)
+	defer caller.Close()
+
+	resp, err := caller.Call(context.Background(), 2, func(corr, nonce uint64) *wire.Message {
+		return wire.NewReqChild(1, 2, digest.Sum([]byte("t")), corr, nonce)
+	})
+	if err != nil {
+		t.Fatalf("Call over TCP: %v", err)
+	}
+	if resp.Kind != wire.KindNotFound {
+		t.Fatalf("resp kind %v", resp.Kind)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(context.Background(), 5, announce(1, 5, "x")); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("want ErrUnknownPeer, got %v", err)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := a.Send(context.Background(), 2, announce(1, 2, "x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}

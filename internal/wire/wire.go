@@ -1,0 +1,216 @@
+// Package wire defines the 2LDAG message vocabulary and its binary
+// encoding. The protocol has exactly the message families the paper
+// names (Sec. IV-D5): digest announcements (block generation,
+// Sec. III-D), REQ_CHILD / RPY_CHILD (PoP, Sec. IV), plus the block
+// retrieval pair a validator uses to fetch the verifier's full block
+// (Algorithm 3 line 2). Every message carries an anti-replay nonce and
+// a correlation ID for request/response matching.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// Kind discriminates message payloads. Enums start at 1 so the zero
+// value is detectably invalid.
+type Kind uint8
+
+const (
+	// KindDigestAnnounce carries H(b^h) from a block's origin to one
+	// neighbor.
+	KindDigestAnnounce Kind = iota + 1
+	// KindReqChild asks a node for the oldest of its blocks whose Δ
+	// contains Target.
+	KindReqChild
+	// KindRpyChild answers a ReqChild with an encoded header.
+	KindRpyChild
+	// KindGetBlock asks a block's origin for the full block.
+	KindGetBlock
+	// KindBlockResp answers a GetBlock with an encoded block.
+	KindBlockResp
+	// KindNotFound is a negative response to ReqChild or GetBlock.
+	KindNotFound
+
+	kindMax
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindDigestAnnounce:
+		return "DIGEST"
+	case KindReqChild:
+		return "REQ_CHILD"
+	case KindRpyChild:
+		return "RPY_CHILD"
+	case KindGetBlock:
+		return "GET_BLOCK"
+	case KindBlockResp:
+		return "BLOCK_RESP"
+	case KindNotFound:
+		return "NOT_FOUND"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a known kind.
+func (k Kind) Valid() bool { return k >= KindDigestAnnounce && k < kindMax }
+
+// IsResponse reports whether the kind answers a prior request.
+func (k Kind) IsResponse() bool {
+	return k == KindRpyChild || k == KindBlockResp || k == KindNotFound
+}
+
+// Codec errors.
+var (
+	ErrBadKind    = errors.New("wire: unknown message kind")
+	ErrTruncated  = errors.New("wire: truncated message")
+	ErrOversized  = errors.New("wire: payload exceeds limit")
+	ErrTrailing   = errors.New("wire: trailing bytes")
+	ErrBadPayload = errors.New("wire: malformed payload")
+)
+
+// MaxPayload bounds encoded header/block payload sizes (matches the
+// block codec limit plus framing slack).
+const MaxPayload = block.MaxBodyLen + 1<<16
+
+// Message is a single 2LDAG protocol message.
+type Message struct {
+	Kind Kind
+	From identity.NodeID
+	To   identity.NodeID
+	// Corr correlates responses with requests (0 = unsolicited).
+	Corr uint64
+	// Nonce is the anti-replay nonce of Sec. IV-D5.
+	Nonce uint64
+
+	// Digest is the announced digest (DigestAnnounce) or the PoP target
+	// H(b^h_v,t) (ReqChild).
+	Digest digest.Digest
+	// Ref identifies the requested block (GetBlock).
+	Ref block.Ref
+	// Payload carries an encoded header (RpyChild) or block (BlockResp).
+	Payload []byte
+}
+
+// NewDigestAnnounce builds the digest broadcast of Sec. III-D.
+func NewDigestAnnounce(from, to identity.NodeID, d digest.Digest, nonce uint64) *Message {
+	return &Message{Kind: KindDigestAnnounce, From: from, To: to, Digest: d, Nonce: nonce}
+}
+
+// NewReqChild builds a REQ_CHILD for the PoP target digest.
+func NewReqChild(from, to identity.NodeID, target digest.Digest, corr, nonce uint64) *Message {
+	return &Message{Kind: KindReqChild, From: from, To: to, Digest: target, Corr: corr, Nonce: nonce}
+}
+
+// NewRpyChild answers req with an encoded header.
+func NewRpyChild(req *Message, h *block.Header) *Message {
+	return &Message{
+		Kind: KindRpyChild, From: req.To, To: req.From,
+		Corr: req.Corr, Nonce: req.Nonce, Payload: block.EncodeHeader(h),
+	}
+}
+
+// NewGetBlock builds a full-block retrieval request.
+func NewGetBlock(from, to identity.NodeID, ref block.Ref, corr, nonce uint64) *Message {
+	return &Message{Kind: KindGetBlock, From: from, To: to, Ref: ref, Corr: corr, Nonce: nonce}
+}
+
+// NewBlockResp answers req with an encoded block.
+func NewBlockResp(req *Message, b *block.Block) *Message {
+	return &Message{
+		Kind: KindBlockResp, From: req.To, To: req.From,
+		Corr: req.Corr, Nonce: req.Nonce, Payload: block.Encode(b),
+	}
+}
+
+// NewNotFound answers req negatively.
+func NewNotFound(req *Message) *Message {
+	return &Message{Kind: KindNotFound, From: req.To, To: req.From, Corr: req.Corr, Nonce: req.Nonce}
+}
+
+// DecodeHeaderPayload parses the header carried by a RpyChild.
+func (m *Message) DecodeHeaderPayload() (*block.Header, error) {
+	if m.Kind != KindRpyChild {
+		return nil, fmt.Errorf("%w: %v carries no header", ErrBadPayload, m.Kind)
+	}
+	return block.DecodeHeader(m.Payload)
+}
+
+// DecodeBlockPayload parses the block carried by a BlockResp.
+func (m *Message) DecodeBlockPayload() (*block.Block, error) {
+	if m.Kind != KindBlockResp {
+		return nil, fmt.Errorf("%w: %v carries no block", ErrBadPayload, m.Kind)
+	}
+	return block.Decode(m.Payload)
+}
+
+// Encode serializes the message.
+func (m *Message) Encode() []byte {
+	buf := make([]byte, 0, m.WireSize())
+	buf = append(buf, byte(m.Kind))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.To))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Corr)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Nonce)
+	buf = append(buf, m.Digest[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Ref.Node))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Ref.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
+// WireSize is the exact encoded size in bytes.
+func (m *Message) WireSize() int {
+	return 1 + 4 + 4 + 8 + 8 + digest.Size + 4 + 4 + 4 + len(m.Payload)
+}
+
+// Decode parses an encoded message, rejecting trailing bytes.
+func Decode(buf []byte) (*Message, error) {
+	const fixed = 1 + 4 + 4 + 8 + 8 + digest.Size + 4 + 4 + 4
+	if len(buf) < fixed {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTruncated, len(buf))
+	}
+	var m Message
+	m.Kind = Kind(buf[0])
+	if !m.Kind.Valid() {
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, buf[0])
+	}
+	off := 1
+	m.From = identity.NodeID(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	m.To = identity.NodeID(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	m.Corr = binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	m.Nonce = binary.LittleEndian.Uint64(buf[off:])
+	off += 8
+	copy(m.Digest[:], buf[off:])
+	off += digest.Size
+	m.Ref.Node = identity.NodeID(binary.LittleEndian.Uint32(buf[off:]))
+	off += 4
+	m.Ref.Seq = binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	plen := binary.LittleEndian.Uint32(buf[off:])
+	off += 4
+	if plen > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d", ErrOversized, plen)
+	}
+	if off+int(plen) > len(buf) {
+		return nil, fmt.Errorf("%w: payload", ErrTruncated)
+	}
+	m.Payload = append([]byte(nil), buf[off:off+int(plen)]...)
+	off += int(plen)
+	if off != len(buf) {
+		return nil, fmt.Errorf("%w: %d bytes", ErrTrailing, len(buf)-off)
+	}
+	return &m, nil
+}

@@ -1,0 +1,175 @@
+package wire
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+func sampleHeader() *block.Header {
+	key := identity.Deterministic(3, 3)
+	p := block.DefaultParams()
+	p.Difficulty = 2
+	b, err := p.Build(key, 1, 1, []byte("payload"), []block.DigestRef{
+		{Node: 3, Digest: digest.Sum([]byte("prev"))},
+		{Node: 4, Digest: digest.Sum([]byte("nb"))},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return &b.Header
+}
+
+func messagesEqual(a, b *Message) bool {
+	return a.Kind == b.Kind && a.From == b.From && a.To == b.To &&
+		a.Corr == b.Corr && a.Nonce == b.Nonce && a.Digest == b.Digest &&
+		a.Ref == b.Ref && string(a.Payload) == string(b.Payload)
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	h := sampleHeader()
+	blk := &block.Block{Header: *h, Body: []byte("payload")}
+	req := NewReqChild(1, 2, digest.Sum([]byte("t")), 7, 9)
+	get := NewGetBlock(1, 2, block.Ref{Node: 2, Seq: 5}, 8, 10)
+	msgs := []*Message{
+		NewDigestAnnounce(1, 2, digest.Sum([]byte("d")), 3),
+		req,
+		NewRpyChild(req, h),
+		get,
+		NewBlockResp(get, blk),
+		NewNotFound(req),
+	}
+	for _, m := range msgs {
+		enc := m.Encode()
+		if len(enc) != m.WireSize() {
+			t.Fatalf("%v: WireSize %d != %d", m.Kind, m.WireSize(), len(enc))
+		}
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", m.Kind, err)
+		}
+		if !messagesEqual(m, got) {
+			t.Fatalf("%v: round trip mismatch", m.Kind)
+		}
+	}
+}
+
+func TestResponseConstructorsSwapEndpoints(t *testing.T) {
+	req := NewReqChild(10, 20, digest.Sum([]byte("x")), 55, 66)
+	rpy := NewRpyChild(req, sampleHeader())
+	if rpy.From != 20 || rpy.To != 10 || rpy.Corr != 55 || rpy.Nonce != 66 {
+		t.Fatal("RpyChild endpoints/corr wrong")
+	}
+	nf := NewNotFound(req)
+	if nf.From != 20 || nf.To != 10 || nf.Corr != 55 {
+		t.Fatal("NotFound endpoints wrong")
+	}
+}
+
+func TestDecodePayloads(t *testing.T) {
+	h := sampleHeader()
+	req := NewReqChild(1, 2, digest.Sum([]byte("t")), 1, 1)
+	rpy := NewRpyChild(req, h)
+	back, err := rpy.DecodeHeaderPayload()
+	if err != nil {
+		t.Fatalf("DecodeHeaderPayload: %v", err)
+	}
+	if back.Hash() != h.Hash() {
+		t.Fatal("header payload mismatch")
+	}
+	if _, err := req.DecodeHeaderPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("header decode on REQ should fail: %v", err)
+	}
+
+	blk := &block.Block{Header: *h, Body: []byte("body bytes")}
+	get := NewGetBlock(1, 2, h.Ref(), 2, 2)
+	resp := NewBlockResp(get, blk)
+	backBlk, err := resp.DecodeBlockPayload()
+	if err != nil {
+		t.Fatalf("DecodeBlockPayload: %v", err)
+	}
+	if string(backBlk.Body) != string(blk.Body) {
+		t.Fatal("block payload mismatch")
+	}
+	if _, err := get.DecodeBlockPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("block decode on GET should fail: %v", err)
+	}
+}
+
+func TestDecodeRejectsBadKind(t *testing.T) {
+	m := NewDigestAnnounce(1, 2, digest.Sum([]byte("d")), 0)
+	enc := m.Encode()
+	enc[0] = 0
+	if _, err := Decode(enc); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("want ErrBadKind, got %v", err)
+	}
+	enc[0] = 99
+	if _, err := Decode(enc); !errors.Is(err, ErrBadKind) {
+		t.Fatalf("want ErrBadKind, got %v", err)
+	}
+}
+
+func TestDecodeTruncatedAndTrailing(t *testing.T) {
+	m := NewReqChild(1, 2, digest.Sum([]byte("t")), 1, 1)
+	enc := m.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(append(enc, 0x00)); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("want ErrTrailing, got %v", err)
+	}
+}
+
+func TestKindStringAndPredicates(t *testing.T) {
+	if KindReqChild.String() != "REQ_CHILD" || KindRpyChild.String() != "RPY_CHILD" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(0).Valid() || Kind(200).Valid() {
+		t.Fatal("invalid kinds accepted")
+	}
+	if !KindRpyChild.IsResponse() || !KindNotFound.IsResponse() || KindReqChild.IsResponse() {
+		t.Fatal("IsResponse wrong")
+	}
+	if Kind(250).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Kind:  Kind(r.Intn(int(kindMax)-1) + 1),
+			From:  identity.NodeID(r.Uint32()),
+			To:    identity.NodeID(r.Uint32()),
+			Corr:  r.Uint64(),
+			Nonce: r.Uint64(),
+			Ref:   block.Ref{Node: identity.NodeID(r.Uint32()), Seq: r.Uint32()},
+		}
+		r.Read(m.Digest[:])
+		m.Payload = make([]byte, r.Intn(100))
+		r.Read(m.Payload)
+		got, err := Decode(m.Encode())
+		return err == nil && messagesEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = Decode(raw)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
