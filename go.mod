@@ -1,0 +1,3 @@
+module github.com/twoldag/twoldag
+
+go 1.24

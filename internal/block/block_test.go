@@ -38,8 +38,11 @@ func TestValidateDetectsBodyTamper(t *testing.T) {
 	key := identity.Deterministic(1, 7)
 	ring, _ := identity.RingFor([]identity.KeyPair{key})
 	b := buildTestBlock(t, key, 0, []byte("original data"), []DigestRef{{Node: 1}})
-	b.Body[0] ^= 0xFF
-	if err := testParams().Validate(b, ring); !errors.Is(err, ErrRootMismatch) {
+	// Sealed blocks are immutable; a tamperer works on a copy, which
+	// carries no body-root memo and is re-hashed from scratch.
+	tampered := b.Clone()
+	tampered.Body[0] ^= 0xFF
+	if err := testParams().Validate(tampered, ring); !errors.Is(err, ErrRootMismatch) {
 		t.Fatalf("want ErrRootMismatch, got %v", err)
 	}
 }

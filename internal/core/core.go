@@ -57,6 +57,12 @@ var (
 // over the in-memory simulator (deterministic, cost-accounted) and over
 // real transports (RPC with timeouts); malicious behaviors are injected
 // behind this interface.
+//
+// Ownership contract: returned headers and blocks must not be mutated
+// by the fetcher after they are returned, and the validator treats them
+// as read-only. In-process fetchers may therefore hand out sealed
+// store references without copying; an implementation that needs to
+// rewrite a reply (e.g. the attack library) must clone first.
 type Fetcher interface {
 	// RequestChild sends REQ_CHILD(target) to node j and returns the
 	// header from the matching RPY_CHILD. Errors represent timeouts,
@@ -72,7 +78,8 @@ type PathStep struct {
 	// Node is the physical node owning the block (the j' that answered,
 	// or the verifier itself for the first step).
 	Node identity.NodeID
-	// Header is the block's header.
+	// Header is the block's header, possibly shared with a store —
+	// treat it as read-only (see Fetcher's ownership contract).
 	Header *block.Header
 	// HeaderHash caches Header.Hash().
 	HeaderHash digest.Digest

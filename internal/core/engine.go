@@ -26,9 +26,10 @@ type Engine struct {
 	params block.Params
 	topo   *topology.Graph
 
-	store *ledger.Store
-	cache *ledger.DigestCache
-	trust *ledger.TrustStore
+	store  *ledger.Store
+	cache  *ledger.DigestCache
+	trust  *ledger.TrustStore
+	vcache *block.VerifyCache
 }
 
 // NewEngine builds the state machine for one node.
@@ -46,6 +47,7 @@ func NewEngine(key identity.KeyPair, params block.Params, topo *topology.Graph) 
 		store:  ledger.NewStore(key.ID),
 		cache:  ledger.NewDigestCache(),
 		trust:  ledger.NewTrustStore(),
+		vcache: block.NewVerifyCache(),
 	}, nil
 }
 
@@ -60,6 +62,11 @@ func (e *Engine) Trust() *ledger.TrustStore { return e.trust }
 
 // Cache exposes A_i.
 func (e *Engine) Cache() *ledger.DigestCache { return e.cache }
+
+// VerifyCache exposes the node's header-validation cache, shared by
+// every validator built from this engine so cryptographic checks carry
+// over between audits.
+func (e *Engine) VerifyCache() *block.VerifyCache { return e.vcache }
 
 // OnDigest ingests a digest announcement from a neighbor, replacing
 // that neighbor's entry in A_i (Sec. III-D). Announcements from
@@ -95,12 +102,13 @@ func (e *Engine) Generate(t uint32, body []byte) (*block.Block, digest.Digest, e
 // Validator constructs a PoP validator bound to this node's trust store.
 func (e *Engine) Validator(gamma int, ring *identity.Ring, opts ...func(*ValidatorConfig)) (*Validator, error) {
 	cfg := ValidatorConfig{
-		Self:   e.key.ID,
-		Gamma:  gamma,
-		Params: e.params,
-		Ring:   ring,
-		Topo:   e.topo,
-		Trust:  e.trust,
+		Self:        e.key.ID,
+		Gamma:       gamma,
+		Params:      e.params,
+		Ring:        ring,
+		Topo:        e.topo,
+		Trust:       e.trust,
+		VerifyCache: e.vcache,
 	}
 	for _, opt := range opts {
 		opt(&cfg)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/digest"
@@ -41,6 +42,13 @@ type ValidatorConfig struct {
 	RNG *rand.Rand
 	// StepBudget caps candidate probes; 0 means DefaultStepBudget.
 	StepBudget int
+	// VerifyCache remembers headers that already passed PoW + signature
+	// checks, so each distinct header is cryptographically verified once
+	// per node rather than once per audit hop. Nil allocates a fresh
+	// private cache; share one (e.g. the engine's) across a node's
+	// validators to carry hits between audits. Must not be shared across
+	// different Params or Ring values.
+	VerifyCache *block.VerifyCache
 	// StrictPath disables the union-semantics fallback: consensus then
 	// requires a single path of γ+1 distinct nodes, exactly as the
 	// paper's Algorithm 3 defines it. By default, when strict path
@@ -74,6 +82,9 @@ func NewValidator(cfg ValidatorConfig) (*Validator, error) {
 	if cfg.StepBudget == 0 {
 		cfg.StepBudget = DefaultStepBudget
 	}
+	if cfg.VerifyCache == nil {
+		cfg.VerifyCache = block.NewVerifyCache()
+	}
 	v := &Validator{cfg: cfg, strategy: cfg.Strategy}
 	if v.strategy == nil {
 		v.strategy = WPS{}
@@ -82,37 +93,46 @@ func NewValidator(cfg ValidatorConfig) (*Validator, error) {
 }
 
 // voucherSet is R_i: an insertion-ordered set of distinct node IDs.
+// Membership maps each node to the sequence number of its latest add,
+// making add/remove O(1) — rollback on deep paths used to pay an O(n)
+// scan per removal — while snapshot reconstructs insertion order.
 type voucherSet struct {
-	in    map[identity.NodeID]bool
-	order []identity.NodeID
+	in  map[identity.NodeID]int
+	seq int
 }
 
 func newVoucherSet() *voucherSet {
-	return &voucherSet{in: make(map[identity.NodeID]bool)}
+	return &voucherSet{in: make(map[identity.NodeID]int)}
 }
 
 func (s *voucherSet) add(id identity.NodeID) {
-	if !s.in[id] {
-		s.in[id] = true
-		s.order = append(s.order, id)
+	if _, ok := s.in[id]; !ok {
+		s.in[id] = s.seq
+		s.seq++
 	}
 }
 
 func (s *voucherSet) remove(id identity.NodeID) {
-	if !s.in[id] {
-		return
-	}
 	delete(s.in, id)
-	for i, v := range s.order {
-		if v == id {
-			s.order = append(s.order[:i], s.order[i+1:]...)
-			break
-		}
-	}
 }
 
-func (s *voucherSet) has(id identity.NodeID) bool { return s.in[id] }
-func (s *voucherSet) len() int                    { return len(s.order) }
+func (s *voucherSet) has(id identity.NodeID) bool {
+	_, ok := s.in[id]
+	return ok
+}
+
+func (s *voucherSet) len() int { return len(s.in) }
+
+// snapshot returns the members in insertion order (of each member's
+// latest add).
+func (s *voucherSet) snapshot() []identity.NodeID {
+	out := make([]identity.NodeID, 0, len(s.in))
+	for id := range s.in {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return s.in[out[i]] < s.in[out[j]] })
+	return out
+}
 
 // Verify runs Algorithm 3 against the block identified by ref,
 // retrieving data through f. On success the returned Result has
@@ -130,14 +150,14 @@ func (v *Validator) Verify(ctx context.Context, ref block.Ref, f Fetcher) (*Resu
 		return res, fmt.Errorf("core: retrieving target %v: %w", ref, err)
 	}
 	res.MessagesReceived++
-	root, err := v.cfg.Params.BodyRoot(blk.Body)
+	root, err := v.cfg.Params.BlockBodyRoot(blk)
 	if err != nil {
 		return res, fmt.Errorf("core: hashing target body: %w", err)
 	}
 	if root != blk.Header.Root {
 		return res, fmt.Errorf("%w: %v", ErrRootMismatch, ref)
 	}
-	if err := v.cfg.Params.ValidateHeader(&blk.Header, v.cfg.Ring); err != nil {
+	if err := v.cfg.Params.ValidateHeaderCached(&blk.Header, v.cfg.Ring, v.cfg.VerifyCache); err != nil {
 		return res, fmt.Errorf("%w: %v: %v", ErrInvalidBlock, ref, err)
 	}
 
@@ -156,9 +176,12 @@ func (v *Validator) Verify(ctx context.Context, ref block.Ref, f Fetcher) (*Resu
 // counters accumulate into res across attempts.
 func (v *Validator) construct(ctx context.Context, ref block.Ref, blk *block.Block, f Fetcher, res *Result, union bool) error {
 	// Line 6: R_i = {j}, P_i = {b_j,t}, verifying block = target.
+	// Fetched headers are owned by the validator (or shared sealed store
+	// state) and never mutated here, so path steps reference them
+	// directly — no per-hop clone, and Hash() is memoized.
 	vouchers := newVoucherSet()
 	vouchers.add(ref.Node)
-	hdr := blk.Header.Clone()
+	hdr := &blk.Header
 	path := []PathStep{{Node: ref.Node, Header: hdr, HeaderHash: hdr.Hash()}}
 
 	budget := v.cfg.StepBudget
@@ -180,7 +203,7 @@ func (v *Validator) construct(ctx context.Context, ref block.Ref, blk *block.Blo
 		if vouchers.len() >= v.cfg.Gamma+1 {
 			res.Consensus = true
 			res.Path = path
-			res.Vouchers = append([]identity.NodeID(nil), vouchers.order...)
+			res.Vouchers = vouchers.snapshot()
 			v.cacheVerifiedPath(path)
 			return nil
 		}
@@ -252,8 +275,7 @@ func (v *Validator) construct(ctx context.Context, ref block.Ref, blk *block.Blo
 			}
 			v.reportSuccess(jPrime)
 			res.HeadersFetched++
-			cc := child.Clone()
-			hh := cc.Hash()
+			hh := child.Hash()
 			if dead[hh] {
 				// This child's subtree is already known to dead-end;
 				// probing it again would livelock.
@@ -262,7 +284,7 @@ func (v *Validator) construct(ctx context.Context, ref block.Ref, blk *block.Blo
 
 			// Lines 36–37: extend R_i and P_i, advance the verifying
 			// block.
-			path = append(path, PathStep{Node: jPrime, Header: cc, HeaderHash: hh})
+			path = append(path, PathStep{Node: jPrime, Header: child, HeaderHash: hh})
 			vouchers.add(jPrime)
 			advanced = true
 		}
@@ -323,7 +345,7 @@ func (v *Validator) replyValid(child *block.Header, jPrime identity.NodeID, cur 
 	if !ok || d != cur.HeaderHash {
 		return false
 	}
-	return v.cfg.Params.ValidateHeader(child, v.cfg.Ring) == nil
+	return v.cfg.Params.ValidateHeaderCached(child, v.cfg.Ring, v.cfg.VerifyCache) == nil
 }
 
 // cacheVerifiedPath is line 39: store every header on the successful

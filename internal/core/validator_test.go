@@ -93,6 +93,7 @@ func TestPoPDetectsTamperedBody(t *testing.T) {
 
 	l.fetcher.InterceptBlock = func(ref block.Ref, b *block.Block, err error) (*block.Block, error) {
 		if err == nil && ref.Node == 1 {
+			b = b.Clone()     // fetched blocks are shared store state
 			b.Body[0] ^= 0xFF // verifier lies about its data
 		}
 		return b, err
@@ -112,6 +113,7 @@ func TestPoPDetectsForgedHeader(t *testing.T) {
 	l.runSlot(1, 3, 4)
 	l.fetcher.InterceptBlock = func(ref block.Ref, b *block.Block, err error) (*block.Block, error) {
 		if err == nil {
+			b = b.Clone() // fetched blocks are shared store state
 			b.Header.Signature[0] ^= 0x01
 		}
 		return b, err

@@ -1,0 +1,42 @@
+package ledger
+
+import (
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/pow"
+)
+
+// BenchmarkHotpathStoreOldestContaining measures the REQ_CHILD
+// responder lookup (Alg. 4) with MB-scale bodies — the call that used
+// to deep-copy the whole block per hop and now returns a shared sealed
+// reference.
+func BenchmarkHotpathStoreOldestContaining(b *testing.B) {
+	key := identity.Deterministic(1, 1)
+	p := block.DefaultParams()
+	p.Difficulty = pow.Difficulty(0)
+	s := NewStore(1)
+	target := digest.Sum([]byte("parent header"))
+	body := make([]byte, 1_000_000) // 1 MB, the paper's largest C
+	prev := digest.Digest{}
+	for i := 0; i < 8; i++ {
+		refs := []block.DigestRef{{Node: 1, Digest: prev}, {Node: 9, Digest: target}}
+		blk, err := p.Build(key, uint32(i), uint32(i), body, refs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Append(blk); err != nil {
+			b.Fatal(err)
+		}
+		prev = blk.Header.Hash()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.OldestContaining(target); !ok {
+			b.Fatal("lookup miss")
+		}
+	}
+}

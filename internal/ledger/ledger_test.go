@@ -116,18 +116,78 @@ func TestStoreByHashAndOldestContaining(t *testing.T) {
 	}
 }
 
-func TestStoreClonesOnReturn(t *testing.T) {
+func TestStoreSharedSealedReads(t *testing.T) {
 	key := identity.Deterministic(1, 1)
 	s := NewStore(1)
 	b := chainFor(t, key, 1, nil)[0]
 	if err := s.Append(b); err != nil {
 		t.Fatal(err)
 	}
+	// Reads share one sealed block — no per-read body copy.
 	got, _ := s.Get(0)
-	got.Body[0] ^= 0xFF
 	again, _ := s.Get(0)
-	if again.Body[0] == got.Body[0] {
-		t.Fatal("Store leaked internal block memory")
+	if got != again {
+		t.Fatal("Get must return the shared sealed block, not a copy")
+	}
+	if !got.Sealed() || !got.Header.Sealed() {
+		t.Fatal("stored blocks must be sealed")
+	}
+	// Mutators work on clones, which never touch the stored block.
+	mut := got.Clone()
+	mut.Body[0] ^= 0xFF
+	fresh, _ := s.Get(0)
+	if fresh.Body[0] == mut.Body[0] {
+		t.Fatal("clone aliases the stored body")
+	}
+}
+
+func TestStoreAppendCopiesUnsealedBlocks(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	s := NewStore(1)
+	// A decode round-trip produces an unsealed block, as from a snapshot
+	// or the wire; Append must defensively copy it.
+	sealed := chainFor(t, key, 1, nil)[0]
+	unsealed, err := block.Decode(block.Encode(sealed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unsealed.Sealed() {
+		t.Fatal("decoded block should start unsealed")
+	}
+	if err := s.Append(unsealed); err != nil {
+		t.Fatal(err)
+	}
+	unsealed.Body[0] ^= 0xFF // caller keeps mutating its copy
+	got, _ := s.Get(0)
+	if got.Body[0] == unsealed.Body[0] {
+		t.Fatal("Append shared memory with an unsealed caller block")
+	}
+	if !got.Header.Sealed() {
+		t.Fatal("stored copy must be header-sealed")
+	}
+}
+
+func TestStoreAppendPreservesFullSeal(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	s := NewStore(1)
+	// A restorer that knows the Params can fully seal a decoded block
+	// before Append, carrying the body-root memo into the store.
+	decoded, err := block.Decode(block.Encode(chainFor(t, key, 1, nil)[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := testParams().SealBlock(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(decoded); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.Get(0)
+	if !got.Sealed() {
+		t.Fatal("fully sealed block lost its seal through Append")
+	}
+	if root, ok := got.CachedBodyRoot(testParams().LeafSize); !ok || root != got.Header.Root {
+		t.Fatal("body-root memo missing or wrong after SealBlock + Append")
 	}
 }
 
@@ -220,19 +280,27 @@ func TestTrustStoreAddAndChildOf(t *testing.T) {
 	}
 }
 
-func TestTrustStoreGetReturnsCopy(t *testing.T) {
+func TestTrustStoreSharedSealedReads(t *testing.T) {
 	key := identity.Deterministic(1, 1)
 	ts := NewTrustStore()
 	h := chainFor(t, key, 1, nil)[0].Header.Clone()
 	ts.Add(h)
+	// The store keeps its own sealed copy: the caller's header stays
+	// mutable, and readers share the stored reference.
 	got, ok := ts.Get(h.Hash())
 	if !ok {
 		t.Fatal("Get miss")
 	}
-	got.Signature[0] ^= 0xFF
-	again, _ := ts.Get(h.Hash())
-	if again.Signature[0] == got.Signature[0] {
-		t.Fatal("TrustStore leaked internal header")
+	if !got.Sealed() {
+		t.Fatal("stored headers must be sealed")
+	}
+	h.Signature[0] ^= 0xFF // caller mutates its own copy
+	again, _ := ts.Get(got.Hash())
+	if again != got {
+		t.Fatal("Get must return the shared sealed header")
+	}
+	if again.Signature[0] == h.Signature[0] {
+		t.Fatal("TrustStore aliases the caller's header")
 	}
 }
 

@@ -9,6 +9,23 @@
 //     indexed so the Trust Path Selection algorithm (Alg. 2) can extend
 //     paths without any network traffic.
 //   - Blacklist — the selfish-attack penalty mechanism of Sec. IV-D6.
+//
+// # Shared-reference reads
+//
+// Store and TrustStore hold immutable, header-sealed blocks and
+// headers (see the block package doc) and hand them out by shared
+// reference: Get, Latest, ByHash, OldestContaining, Headers,
+// TrustStore.Get and ChildOf return pointers into the store, not
+// copies. Callers must treat the results as read-only; anyone who
+// needs to mutate one (e.g. the attack library forging a reply) must
+// take a block.Clone/Header.Clone first. This removes the O(C) body
+// copy that used to sit on every REQ_CHILD/GetBlock hop.
+//
+// Blocks built by block.Params.Build are fully sealed (body root
+// memoized too). A block appended unsealed — e.g. restored from a
+// snapshot — keeps only the header seal, because the store does not
+// know the Merkle leaf size; callers that hold the Params can run
+// Params.SealBlock before Append to memoize the body root as well.
 package ledger
 
 import (
@@ -54,19 +71,31 @@ func (s *Store) Owner() identity.NodeID { return s.owner }
 
 // Append adds the node's next block. The block must belong to the owner
 // and continue the sequence (genesis = 0).
+//
+// A sealed block (block.Params.Build output) is stored by reference —
+// the caller keeps read access but must not mutate it afterwards. An
+// unsealed block (e.g. decoded from a snapshot) is defensively copied
+// and header-sealed, so the caller's value stays mutable; run
+// block.Params.SealBlock first to carry a body-root memo too.
 func (s *Store) Append(b *block.Block) error {
 	if b.Header.Origin != s.owner {
 		return fmt.Errorf("%w: %v vs %v", ErrWrongOrigin, b.Header.Origin, s.owner)
 	}
+	cp := b
+	if !b.Sealed() {
+		cp = b.Clone()
+	}
+	// Seal outside the lock: the memoizing Hash call must not race with
+	// readers of already-stored blocks, and cp is still private here.
+	hh := cp.Header.Seal()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if int(b.Header.Seq) != len(s.blocks) {
-		return fmt.Errorf("%w: seq %d, want %d", ErrBadSeq, b.Header.Seq, len(s.blocks))
+	if int(cp.Header.Seq) != len(s.blocks) {
+		return fmt.Errorf("%w: seq %d, want %d", ErrBadSeq, cp.Header.Seq, len(s.blocks))
 	}
-	cp := b.Clone()
 	idx := len(s.blocks)
 	s.blocks = append(s.blocks, cp)
-	s.byHash[cp.Header.Hash()] = idx
+	s.byHash[hh] = idx
 	for _, ref := range cp.Header.Digests {
 		if ref.Digest.IsZero() {
 			continue
@@ -84,28 +113,29 @@ func (s *Store) Len() int {
 	return len(s.blocks)
 }
 
-// Get returns a copy of the block with the given sequence number.
+// Get returns the (sealed, read-only) block with the given sequence
+// number.
 func (s *Store) Get(seq uint32) (*block.Block, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if int(seq) >= len(s.blocks) {
 		return nil, fmt.Errorf("%w: %v#%d", ErrNotFound, s.owner, seq)
 	}
-	return s.blocks[seq].Clone(), nil
+	return s.blocks[seq], nil
 }
 
-// Latest returns a copy of the most recent block, or nil for an empty
-// store.
+// Latest returns the (sealed, read-only) most recent block, or nil for
+// an empty store.
 func (s *Store) Latest() *block.Block {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if len(s.blocks) == 0 {
 		return nil
 	}
-	return s.blocks[len(s.blocks)-1].Clone()
+	return s.blocks[len(s.blocks)-1]
 }
 
-// ByHash returns a copy of the block whose header hashes to d.
+// ByHash returns the (sealed, read-only) block whose header hashes to d.
 func (s *Store) ByHash(d digest.Digest) (*block.Block, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -113,12 +143,13 @@ func (s *Store) ByHash(d digest.Digest) (*block.Block, bool) {
 	if !ok {
 		return nil, false
 	}
-	return s.blocks[idx].Clone(), true
+	return s.blocks[idx], true
 }
 
 // OldestContaining implements the responder's selection rule (Alg. 4,
 // Eq. 10–11): among the owner's blocks whose Δ contains d, return the
-// oldest. The second result is false when no block matches.
+// oldest (sealed, read-only). The second result is false when no block
+// matches.
 func (s *Store) OldestContaining(d digest.Digest) (*block.Block, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -126,7 +157,7 @@ func (s *Store) OldestContaining(d digest.Digest) (*block.Block, bool) {
 	if len(idxs) == 0 {
 		return nil, false
 	}
-	return s.blocks[idxs[0]].Clone(), true
+	return s.blocks[idxs[0]], true
 }
 
 // CountContaining returns |C_j'(b)|: how many of the owner's blocks
@@ -159,13 +190,14 @@ func (s *Store) ModelBits(m block.SizeModel) int64 {
 	return total
 }
 
-// Headers returns copies of all stored headers in sequence order.
+// Headers returns the stored (sealed, read-only) headers in sequence
+// order.
 func (s *Store) Headers() []*block.Header {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]*block.Header, len(s.blocks))
 	for i, b := range s.blocks {
-		out[i] = b.Header.Clone()
+		out[i] = &b.Header
 	}
 	return out
 }

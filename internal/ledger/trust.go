@@ -30,16 +30,23 @@ func NewTrustStore() *TrustStore {
 	}
 }
 
-// Add stores a verified header. Duplicates are ignored. It returns true
-// when the header was newly added.
+// Add stores a verified header. Duplicates are ignored (and detected
+// before any copying). It returns true when the header was newly added.
+// The stored copy is sealed; readers receive it by shared reference.
 func (t *TrustStore) Add(h *block.Header) bool {
 	hh := h.Hash()
+	t.mu.RLock()
+	_, dup := t.headers[hh]
+	t.mu.RUnlock()
+	if dup {
+		return false
+	}
+	cp := h.CloneSealed()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.headers[hh]; ok {
 		return false
 	}
-	cp := h.Clone()
 	t.headers[hh] = cp
 	for _, ref := range cp.Digests {
 		if ref.Digest.IsZero() {
@@ -59,7 +66,8 @@ func (t *TrustStore) Has(headerHash digest.Digest) bool {
 	return ok
 }
 
-// Get returns a copy of the stored header with the given hash.
+// Get returns the stored (sealed, read-only) header with the given
+// hash.
 func (t *TrustStore) Get(headerHash digest.Digest) (*block.Header, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -67,12 +75,12 @@ func (t *TrustStore) Get(headerHash digest.Digest) (*block.Header, bool) {
 	if !ok {
 		return nil, false
 	}
-	return h.Clone(), true
+	return h, true
 }
 
-// ChildOf returns a stored header whose Δ contains d — the TPS lookup of
-// Eq. 9. When several qualify, the earliest inserted wins, which keeps
-// path reconstruction deterministic.
+// ChildOf returns a stored (sealed, read-only) header whose Δ contains
+// d — the TPS lookup of Eq. 9. When several qualify, the earliest
+// inserted wins, which keeps path reconstruction deterministic.
 func (t *TrustStore) ChildOf(d digest.Digest) (*block.Header, bool) {
 	if d.IsZero() {
 		return nil, false
@@ -83,7 +91,7 @@ func (t *TrustStore) ChildOf(d digest.Digest) (*block.Header, bool) {
 	if len(hashes) == 0 {
 		return nil, false
 	}
-	return t.headers[hashes[0]].Clone(), true
+	return t.headers[hashes[0]], true
 }
 
 // Len returns the number of distinct headers in H_i.

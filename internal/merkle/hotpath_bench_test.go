@@ -1,0 +1,38 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkHotpathRootOfBody measures M(b^d) over a 0.5 MB body with
+// the default 1 KiB leaves — the body-hash cost on every block build
+// and on every uncached full-block validation.
+func BenchmarkHotpathRootOfBody(b *testing.B) {
+	body := make([]byte, 500_000)
+	rand.New(rand.NewSource(1)).Read(body)
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RootOfBody(body, DefaultLeafSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotpathRoot measures the leaf-slice entry point used by
+// tests and proofs.
+func BenchmarkHotpathRoot(b *testing.B) {
+	leaves := make([][]byte, 512)
+	rng := rand.New(rand.NewSource(2))
+	for i := range leaves {
+		leaves[i] = make([]byte, DefaultLeafSize)
+		rng.Read(leaves[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Root(leaves)
+	}
+}

@@ -11,6 +11,7 @@
 package merkle
 
 import (
+	"crypto/sha256"
 	"errors"
 	"fmt"
 
@@ -40,34 +41,89 @@ func LeafHash(data []byte) digest.Digest {
 	return digest.Sum(leafPrefix, data)
 }
 
-// NodeHash hashes an interior node from its two children.
+// NodeHash hashes an interior node from its two children. The preimage
+// fits a fixed-size stack buffer, so no memory is allocated.
 func NodeHash(left, right digest.Digest) digest.Digest {
-	return digest.Sum(nodePrefix, left[:], right[:])
+	var buf [1 + 2*digest.Size]byte
+	buf[0] = nodePrefix[0]
+	copy(buf[1:], left[:])
+	copy(buf[1+digest.Size:], right[:])
+	return sha256.Sum256(buf[:])
+}
+
+// leafSum hashes one domain-separated leaf preimage into the reused
+// scratch buffer, returning the digest and the (possibly grown)
+// scratch. Semantically identical to LeafHash, minus the per-call
+// hasher allocation.
+func leafSum(scratch, data []byte) (digest.Digest, []byte) {
+	scratch = append(scratch[:0], leafPrefix...)
+	scratch = append(scratch, data...)
+	return sha256.Sum256(scratch), scratch
+}
+
+// hashLeaves fills level with the domain-separated leaf hashes, reusing
+// one scratch buffer for every leaf preimage instead of allocating a
+// hasher per leaf.
+func hashLeaves(level []digest.Digest, leaves [][]byte) {
+	var scratch []byte
+	for i, l := range leaves {
+		level[i], scratch = leafSum(scratch, l)
+	}
 }
 
 // Root computes the Merkle root over the given leaves. An empty leaf set
 // yields the zero digest, matching a block with an empty body.
+//
+// The computation runs in a single reused level slice (each reduction
+// writes over the previous level in place), so a root over N leaves
+// costs one digest slice plus one scratch buffer regardless of depth.
 func Root(leaves [][]byte) digest.Digest {
 	if len(leaves) == 0 {
 		return digest.Digest{}
 	}
 	level := make([]digest.Digest, len(leaves))
-	for i, l := range leaves {
-		level[i] = LeafHash(l)
-	}
-	for len(level) > 1 {
-		level = reduce(level)
+	hashLeaves(level, leaves)
+	return reduceInPlace(level)
+}
+
+// reduceInPlace collapses a leaf-hash level to the root, overwriting the
+// slice level by level (promoting an odd trailing node unchanged, like
+// reduce).
+func reduceInPlace(level []digest.Digest) digest.Digest {
+	for n := len(level); n > 1; {
+		m := 0
+		for i := 0; i+1 < n; i += 2 {
+			level[m] = NodeHash(level[i], level[i+1])
+			m++
+		}
+		if n%2 == 1 {
+			level[m] = level[n-1]
+			m++
+		}
+		n = m
 	}
 	return level[0]
 }
 
 // RootOfBody splits a flat body into leafSize chunks and computes the
-// root. This is the form used for block bodies: the paper's M(b^d).
+// root. This is the form used for block bodies: the paper's M(b^d). The
+// body is hashed chunk by chunk without materializing a chunk slice.
 func RootOfBody(body []byte, leafSize int) (digest.Digest, error) {
 	if leafSize <= 0 {
 		return digest.Digest{}, fmt.Errorf("%w: %d", ErrBadLeafSize, leafSize)
 	}
-	return Root(split(body, leafSize)), nil
+	if len(body) == 0 {
+		return digest.Digest{}, nil
+	}
+	n := (len(body) + leafSize - 1) / leafSize
+	level := make([]digest.Digest, n)
+	scratch := make([]byte, 0, 1+leafSize)
+	for i := 0; i < n; i++ {
+		lo := i * leafSize
+		hi := min(lo+leafSize, len(body))
+		level[i], scratch = leafSum(scratch, body[lo:hi])
+	}
+	return reduceInPlace(level), nil
 }
 
 // split cuts body into chunks of at most leafSize bytes. A nil body
@@ -109,9 +165,7 @@ func NewTree(leaves [][]byte) (*Tree, error) {
 		return nil, ErrEmptyTree
 	}
 	base := make([]digest.Digest, len(leaves))
-	for i, l := range leaves {
-		base[i] = LeafHash(l)
-	}
+	hashLeaves(base, leaves)
 	levels := [][]digest.Digest{base}
 	for cur := base; len(cur) > 1; {
 		cur = reduce(cur)

@@ -1,7 +1,9 @@
 // Package metrics provides the cost-accounting primitives behind the
-// paper's evaluation: per-node byte counters split by purpose (DAG
-// construction vs. consensus traffic, Fig. 8), per-slot series (Figs.
-// 7–8) and empirical CDFs (Figs. 7(d), 8(d)).
+// paper's evaluation: the traffic Purpose taxonomy (DAG construction
+// vs. consensus, Fig. 8), per-slot series (Figs. 7–8) and empirical
+// CDFs (Figs. 7(d), 8(d)). The per-node counters themselves live with
+// their accountants (e.g. the simulator's atomic cells), keyed by
+// Purpose.
 package metrics
 
 import (
@@ -37,30 +39,6 @@ func (p Purpose) String() string {
 	default:
 		return fmt.Sprintf("purpose(%d)", int(p))
 	}
-}
-
-// CommCounter accumulates transmitted bits for one node, split by
-// purpose. The zero value is ready to use.
-type CommCounter struct {
-	ConstructionBits int64
-	ConsensusBits    int64
-	Messages         int64
-}
-
-// Add records bits transmitted for the given purpose.
-func (c *CommCounter) Add(p Purpose, bits int64) {
-	c.Messages++
-	switch p {
-	case Construction:
-		c.ConstructionBits += bits
-	default:
-		c.ConsensusBits += bits
-	}
-}
-
-// TotalBits returns construction + consensus bits.
-func (c *CommCounter) TotalBits() int64 {
-	return c.ConstructionBits + c.ConsensusBits
 }
 
 // Series is an ordered sequence of (x, y) samples — one figure line.

@@ -7,19 +7,6 @@ import (
 	"testing/quick"
 )
 
-func TestCommCounter(t *testing.T) {
-	var c CommCounter
-	c.Add(Construction, 100)
-	c.Add(Consensus, 50)
-	c.Add(Consensus, 25)
-	if c.ConstructionBits != 100 || c.ConsensusBits != 75 {
-		t.Fatalf("split wrong: %+v", c)
-	}
-	if c.TotalBits() != 175 || c.Messages != 3 {
-		t.Fatalf("totals wrong: %+v", c)
-	}
-}
-
 func TestPurposeString(t *testing.T) {
 	if Construction.String() != "construction" || Consensus.String() != "consensus" {
 		t.Fatal("purpose names wrong")

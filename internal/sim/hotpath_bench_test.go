@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// BenchmarkHotpathSimStep measures one full simulated run (generation,
+// announcement, audits) under the serial scheduler and the parallel
+// worker pool. Both produce byte-identical reports (see
+// TestParallelSchedulerIsDeterministic); the difference is wall clock.
+func BenchmarkHotpathSimStep(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := New(Config{
+					Topo:      topology.Config{Nodes: 16, Width: 320, Height: 320, Range: 100, Seed: 1},
+					Seed:      1,
+					Slots:     30,
+					BodyBytes: 500_000,
+					Gamma:     5,
+					Workers:   workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHotpathAuditRepeat isolates the repeat-audit path: one
+// validator re-auditing the same aged block, so trust hits, memoized
+// hashes and the validation cache all engage.
+func BenchmarkHotpathAuditRepeat(b *testing.B) {
+	s, err := New(Config{
+		Topo:      topology.Config{Nodes: 16, Width: 320, Height: 320, Range: 100, Seed: 1},
+		Seed:      1,
+		Slots:     20,
+		BodyBytes: 500_000,
+		Gamma:     5,
+		Workers:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	target, _, err := s.BlockAt(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	validator := s.ids[len(s.ids)-1]
+	if validator == target.Node {
+		validator = s.ids[len(s.ids)-2]
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Verify(validator, target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Consensus {
+			b.Fatal(fmt.Errorf("no consensus auditing %v", target))
+		}
+	}
+}

@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"github.com/twoldag/twoldag/internal/attack"
 	"github.com/twoldag/twoldag/internal/block"
@@ -76,6 +79,11 @@ type Config struct {
 	SyntheticBodyBytes int
 	// StepBudget caps per-audit probing (0 = core default).
 	StepBudget int
+	// Workers bounds the goroutines running per-slot generation and
+	// audits: 0 uses GOMAXPROCS, 1 forces the serial scheduler. Every
+	// random choice inside a slot draws from a per-node stream, so a
+	// given Seed produces an identical Report for any worker count.
+	Workers int
 }
 
 func (c Config) validate() error {
@@ -100,14 +108,37 @@ type loggedBlock struct {
 	slot int
 }
 
-// Sim is a running simulation. Build with New; not safe for concurrent
-// use.
+// commCell is one node's transmission counter. Fields are atomic so
+// parallel audits can charge arbitrary responders concurrently; atomic
+// addition is commutative, which keeps totals independent of audit
+// scheduling order.
+type commCell struct {
+	construction atomic.Int64
+	consensus    atomic.Int64
+}
+
+func (c *commCell) add(p metrics.Purpose, bits int64) {
+	if p == metrics.Construction {
+		c.construction.Add(bits)
+	} else {
+		c.consensus.Add(bits)
+	}
+}
+
+func (c *commCell) totalBits() int64 {
+	return c.construction.Load() + c.consensus.Load()
+}
+
+// Sim is a running simulation. Build with New; Step/Run must not be
+// called concurrently (each Step fans its per-node work out over an
+// internal worker pool).
 type Sim struct {
-	cfg   Config
-	graph *topology.Graph
-	model block.SizeModel
-	ring  *identity.Ring
-	rng   *rand.Rand
+	cfg     Config
+	graph   *topology.Graph
+	model   block.SizeModel
+	ring    *identity.Ring
+	rng     *rand.Rand
+	workers int
 
 	ids        []identity.NodeID
 	idx        map[identity.NodeID]int
@@ -115,8 +146,13 @@ type Sim struct {
 	validators map[identity.NodeID]*core.Validator
 	behaviors  map[identity.NodeID]attack.Behavior
 	periods    []int
+	// nodeRNG[i] is node i's private random stream; all of a node's
+	// per-slot draws (body bytes, audit target, selection tie-breaks)
+	// come from it, so slot outcomes are independent of worker
+	// scheduling.
+	nodeRNG []*rand.Rand
 
-	comm         []metrics.CommCounter
+	comm         []commCell
 	retainedBits []int64
 	blockLog     []loggedBlock
 	slot         int
@@ -174,17 +210,23 @@ func New(cfg Config) (*Sim, error) {
 		LeafSize:   1024,
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	ids := g.Nodes()
 	s := &Sim{
 		cfg:          cfg,
 		graph:        g,
 		model:        block.DefaultSizeModel(cfg.BodyBytes),
 		rng:          rng,
+		workers:      workers,
 		ids:          ids,
 		idx:          make(map[identity.NodeID]int, len(ids)),
 		engines:      make(map[identity.NodeID]*core.Engine, len(ids)),
 		validators:   make(map[identity.NodeID]*core.Validator, len(ids)),
-		comm:         make([]metrics.CommCounter, len(ids)),
+		nodeRNG:      make([]*rand.Rand, len(ids)),
+		comm:         make([]commCell, len(ids)),
 		retainedBits: make([]int64, len(ids)),
 		periods:      make([]int, len(ids)),
 		report:       &Report{},
@@ -199,6 +241,9 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("sim: engine %v: %w", id, err)
 		}
 		s.engines[id] = eng
+		// A fixed per-node stream, derived from the run seed and the
+		// node ID with golden-ratio mixing so nearby seeds decorrelate.
+		s.nodeRNG[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(id+1)*0x9E3779B97F4A7C15)))
 		s.periods[i] = 1
 		if cfg.RandomPeriodMax >= 2 {
 			s.periods[i] = 1 + rng.Intn(cfg.RandomPeriodMax)
@@ -210,22 +255,23 @@ func New(cfg Config) (*Sim, error) {
 	}
 	s.ring = ring
 	s.behaviors = attack.Assign(ids, cfg.Malicious, cfg.Behavior, rng)
-	for _, id := range ids {
+	for i, id := range ids {
 		eng := s.engines[id]
 		trust := eng.Trust()
 		if cfg.DisableTrust {
 			trust = nil
 		}
 		v, err := core.NewValidator(core.ValidatorConfig{
-			Self:       id,
-			Gamma:      cfg.Gamma,
-			Params:     params,
-			Ring:       ring,
-			Topo:       g,
-			Trust:      trust,
-			Strategy:   cfg.Strategy,
-			RNG:        rng,
-			StepBudget: cfg.StepBudget,
+			Self:        id,
+			Gamma:       cfg.Gamma,
+			Params:      params,
+			Ring:        ring,
+			Topo:        g,
+			Trust:       trust,
+			Strategy:    cfg.Strategy,
+			RNG:         s.nodeRNG[i],
+			StepBudget:  cfg.StepBudget,
+			VerifyCache: eng.VerifyCache(),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sim: validator %v: %w", id, err)
@@ -276,87 +322,176 @@ func (s *Sim) blockModelBits(h *block.Header) int64 {
 	return s.headerModelBits(h) + int64(s.model.C)
 }
 
-// Step advances one slot: generation, announcement and audit duty.
+// Step advances one slot in three phases:
+//
+//  1. Generation — every node due this slot mines its block from its
+//     start-of-slot digest cache, in parallel (a node's generation only
+//     touches its own engine and RNG stream).
+//  2. Announcement — the new digests are delivered to neighbor caches
+//     serially in node order, and the block log is extended.
+//  3. Audit duty — each generating honest node runs one PoP audit, in
+//     parallel; stores are immutable during this phase, responder comm
+//     charges are atomic, and all random draws come from the auditing
+//     node's own stream.
+//
+// The phase barriers give every slot synchronous semantics: blocks
+// generated in slot t reference digests announced in slots < t, and
+// audits in slot t see all blocks through slot t. Combined with the
+// per-node RNG streams this makes the report a pure function of the
+// Config, independent of the worker count.
 func (s *Sim) Step() error {
 	s.slot++
-	for i, id := range s.ids {
-		if (s.slot-1)%s.periods[i] != 0 {
-			continue
+	var gens []int
+	for i := range s.ids {
+		if (s.slot-1)%s.periods[i] == 0 {
+			gens = append(gens, i)
 		}
-		if err := s.generate(id); err != nil {
-			return err
-		}
-		if s.cfg.DisableAudits {
-			continue
-		}
-		if _, ok := s.behaviors[id]; ok {
-			continue // malicious nodes skip audit duty
-		}
-		s.auditDuty(id)
 	}
+
+	// Phase 1: parallel block generation.
+	type genResult struct {
+		ref block.Ref
+		dig digest.Digest
+		err error
+	}
+	results := make([]genResult, len(gens))
+	s.forEach(len(gens), func(k int) {
+		i := gens[k]
+		id := s.ids[i]
+		body := make([]byte, s.cfg.SyntheticBodyBytes)
+		s.nodeRNG[i].Read(body)
+		b, d, err := s.engines[id].Generate(uint32(s.slot), body)
+		if err != nil {
+			results[k] = genResult{err: fmt.Errorf("sim: slot %d: %w", s.slot, err)}
+			return
+		}
+		// DAG construction traffic: one digest per neighbor (Sec. III-D).
+		deg := s.graph.Degree(id)
+		s.comm[i].add(metrics.Construction, int64(deg)*int64(s.model.DigestBits()))
+		results[k] = genResult{ref: b.Header.Ref(), dig: d}
+	})
+
+	// Phase 2: serial announcement and bookkeeping, in node order.
+	for k, i := range gens {
+		id := s.ids[i]
+		r := results[k]
+		if r.err != nil {
+			return r.err
+		}
+		for _, nb := range s.graph.Neighbors(id) {
+			if err := s.engines[nb].OnDigest(id, r.dig); err != nil {
+				return fmt.Errorf("sim: announcing %v -> %v: %w", id, nb, err)
+			}
+		}
+		s.blockLog = append(s.blockLog, loggedBlock{ref: r.ref, slot: s.slot})
+		s.report.Blocks++
+	}
+
+	// Phase 3: parallel audit duty for honest generators.
+	if !s.cfg.DisableAudits {
+		var auditors []int
+		for _, i := range gens {
+			if _, malicious := s.behaviors[s.ids[i]]; !malicious {
+				auditors = append(auditors, i)
+			}
+		}
+		eligible := s.eligibleTargets()
+		type auditResult struct{ audited, failed bool }
+		outcomes := make([]auditResult, len(auditors))
+		s.forEach(len(auditors), func(k int) {
+			i := auditors[k]
+			audited, failed := s.auditDuty(i, eligible)
+			outcomes[k] = auditResult{audited: audited, failed: failed}
+		})
+		for _, o := range outcomes {
+			if o.audited {
+				s.audits++
+			}
+			if o.failed {
+				s.failures++
+			}
+		}
+	}
+
 	s.snapshot()
 	return nil
 }
 
-// generate produces node id's block for this slot and announces its
-// digest.
-func (s *Sim) generate(id identity.NodeID) error {
-	body := make([]byte, s.cfg.SyntheticBodyBytes)
-	s.rng.Read(body)
-	b, d, err := s.engines[id].Generate(uint32(s.slot), body)
-	if err != nil {
-		return fmt.Errorf("sim: slot %d: %w", s.slot, err)
+// forEach runs fn(0..n-1) on the worker pool; with one worker (or one
+// item) it degrades to a plain loop.
+func (s *Sim) forEach(n int, fn func(k int)) {
+	w := s.workers
+	if w > n {
+		w = n
 	}
-	i := s.idx[id]
-	// DAG construction traffic: one digest per neighbor (Sec. III-D).
-	deg := s.graph.Degree(id)
-	s.comm[i].Add(metrics.Construction, int64(deg)*int64(s.model.DigestBits()))
-	for _, nb := range s.graph.Neighbors(id) {
-		if err := s.engines[nb].OnDigest(id, d); err != nil {
-			return fmt.Errorf("sim: announcing %v -> %v: %w", id, nb, err)
+	if w <= 1 {
+		for k := 0; k < n; k++ {
+			fn(k)
 		}
+		return
 	}
-	s.blockLog = append(s.blockLog, loggedBlock{ref: b.Header.Ref(), slot: s.slot})
-	s.report.Blocks++
-	return nil
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for j := 0; j < w; j++ {
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= n {
+					return
+				}
+				fn(k)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // auditDuty runs one PoP verification of a random sufficiently old
-// block (Sec. VI: a node acts as validator whenever it generates).
-func (s *Sim) auditDuty(id identity.NodeID) {
-	target, ok := s.pickTarget(id)
+// block (Sec. VI: a node acts as validator whenever it generates). It
+// reports whether an audit ran and whether it failed; retained-storage
+// accounting goes straight to the auditor's own slot.
+func (s *Sim) auditDuty(i int, eligibleTargets int) (audited, failed bool) {
+	id := s.ids[i]
+	target, ok := s.pickTarget(i, eligibleTargets)
 	if !ok {
-		return
+		return false, false
 	}
-	s.audits++
 	res, err := s.validators[id].Verify(context.Background(), target, &simFetcher{sim: s, validator: id})
 	if err != nil || !res.Consensus {
-		s.failures++
-		return
+		return true, true
 	}
 	if s.cfg.RetainVerifiedBlocks {
 		// The validator holds on to the retrieved block (header+body).
-		s.retainedBits[s.idx[id]] += s.blockModelBits(res.Path[0].Header)
+		s.retainedBits[i] += s.blockModelBits(res.Path[0].Header)
 	}
+	return true, false
 }
 
-// pickTarget selects a uniformly random block at least VerifyLag slots
-// old, not generated by the validator itself.
-func (s *Sim) pickTarget(validator identity.NodeID) (block.Ref, bool) {
+// eligibleTargets returns the length of the blockLog prefix old enough
+// to audit this slot (blockLog is sorted by slot).
+func (s *Sim) eligibleTargets() int {
 	cutoff := s.slot - s.cfg.VerifyLag
 	if cutoff < 1 {
-		return block.Ref{}, false
+		return 0
 	}
-	// blockLog is sorted by slot; find the eligible prefix.
 	hi := 0
 	for hi < len(s.blockLog) && s.blockLog[hi].slot <= cutoff {
 		hi++
 	}
-	if hi == 0 {
+	return hi
+}
+
+// pickTarget selects a uniformly random eligible block not generated by
+// the validator itself, drawing from the validator's own RNG stream.
+func (s *Sim) pickTarget(i, eligible int) (block.Ref, bool) {
+	if eligible == 0 {
 		return block.Ref{}, false
 	}
+	validator := s.ids[i]
 	for tries := 0; tries < 8; tries++ {
-		cand := s.blockLog[s.rng.Intn(hi)]
+		cand := s.blockLog[s.nodeRNG[i].Intn(eligible)]
 		if cand.ref.Node != validator {
 			return cand.ref, true
 		}
@@ -369,9 +504,9 @@ func (s *Sim) snapshot() {
 	var storage, comm, constr, cons int64
 	for i, id := range s.ids {
 		storage += s.storageBits(id)
-		comm += s.comm[i].TotalBits()
-		constr += s.comm[i].ConstructionBits
-		cons += s.comm[i].ConsensusBits
+		comm += s.comm[i].totalBits()
+		constr += s.comm[i].construction.Load()
+		cons += s.comm[i].consensus.Load()
 	}
 	n := int64(len(s.ids))
 	r := s.report
@@ -409,7 +544,7 @@ func (s *Sim) Finalize() *Report {
 	r.NodeCommBits = make([]int64, len(s.ids))
 	for i, id := range s.ids {
 		r.NodeStorageBits[i] = s.storageBits(id)
-		r.NodeCommBits[i] = s.comm[i].TotalBits()
+		r.NodeCommBits[i] = s.comm[i].totalBits()
 	}
 	return r
 }
@@ -473,7 +608,7 @@ func (f *simFetcher) behavior(j identity.NodeID) attack.Behavior {
 func (f *simFetcher) RequestChild(_ context.Context, j identity.NodeID, target digest.Digest) (*block.Header, error) {
 	s := f.sim
 	// Validator transmits REQ_CHILD (a digest-sized request).
-	s.comm[s.idx[f.validator]].Add(metrics.Consensus, int64(s.model.DigestBits()))
+	s.comm[s.idx[f.validator]].add(metrics.Consensus, int64(s.model.DigestBits()))
 
 	var h *block.Header
 	var err error
@@ -488,10 +623,10 @@ func (f *simFetcher) RequestChild(_ context.Context, j identity.NodeID, target d
 		if _, ok := s.engines[j]; ok {
 			if h != nil {
 				// Responder transmits RPY_CHILD with the header.
-				s.comm[s.idx[j]].Add(metrics.Consensus, s.headerModelBits(h))
+				s.comm[s.idx[j]].add(metrics.Consensus, s.headerModelBits(h))
 			} else {
 				// Negative reply: digest-sized NAK.
-				s.comm[s.idx[j]].Add(metrics.Consensus, int64(s.model.DigestBits()))
+				s.comm[s.idx[j]].add(metrics.Consensus, int64(s.model.DigestBits()))
 			}
 		}
 	}
@@ -501,7 +636,7 @@ func (f *simFetcher) RequestChild(_ context.Context, j identity.NodeID, target d
 // FetchBlock implements core.Fetcher.
 func (f *simFetcher) FetchBlock(_ context.Context, ref block.Ref) (*block.Block, error) {
 	s := f.sim
-	s.comm[s.idx[f.validator]].Add(metrics.Consensus, int64(s.model.DigestBits()))
+	s.comm[s.idx[f.validator]].add(metrics.Consensus, int64(s.model.DigestBits()))
 
 	var b *block.Block
 	var err error
@@ -515,9 +650,9 @@ func (f *simFetcher) FetchBlock(_ context.Context, ref block.Ref) (*block.Block,
 	if beh.Responds() {
 		if _, ok := s.engines[ref.Node]; ok {
 			if b != nil {
-				s.comm[s.idx[ref.Node]].Add(metrics.Consensus, s.blockModelBits(&b.Header))
+				s.comm[s.idx[ref.Node]].add(metrics.Consensus, s.blockModelBits(&b.Header))
 			} else {
-				s.comm[s.idx[ref.Node]].Add(metrics.Consensus, int64(s.model.DigestBits()))
+				s.comm[s.idx[ref.Node]].add(metrics.Consensus, int64(s.model.DigestBits()))
 			}
 		}
 	}

@@ -237,6 +237,8 @@ func (c *Cluster) Audit(ctx context.Context, validator NodeID, ref Ref) (*AuditR
 }
 
 // Block fetches a block from its origin's local store (for display).
+// The returned block is shared, sealed store state — treat it as
+// read-only and Clone it before mutating.
 func (c *Cluster) Block(ref Ref) (*Block, error) {
 	n, ok := c.nodes[ref.Node]
 	if !ok {
