@@ -1,0 +1,457 @@
+package twoldag
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/events"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/node"
+	"github.com/twoldag/twoldag/internal/topology"
+	"github.com/twoldag/twoldag/internal/transport"
+)
+
+// fabric abstracts the live driver's transport management so the
+// cluster logic is identical over the in-memory network and TCP.
+type fabric interface {
+	// endpoint creates the transport for a (possibly joining) node.
+	endpoint(id NodeID) (transport.Transport, error)
+	// remove forgets a node after its transport closed.
+	remove(id NodeID) error
+	// close releases fabric-wide resources.
+	close() error
+}
+
+// memFabric is the in-process message network.
+type memFabric struct {
+	net *transport.Network
+}
+
+func (f *memFabric) endpoint(id NodeID) (transport.Transport, error) { return f.net.Endpoint(id) }
+func (f *memFabric) remove(id NodeID) error                          { return f.net.Remove(id) }
+func (f *memFabric) close() error                                    { return f.net.Close() }
+
+// tcpFabric runs each node on its own loopback TCP listener and keeps
+// every directory up to date as nodes join.
+type tcpFabric struct {
+	mu    sync.Mutex
+	nodes map[NodeID]*transport.TCPNode
+}
+
+func (f *tcpFabric) endpoint(id NodeID) (transport.Transport, error) {
+	t, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.nodes[id]; dup {
+		t.Close()
+		return nil, fmt.Errorf("%w: %v", transport.ErrDuplicatePeer, id)
+	}
+	for peer, pt := range f.nodes {
+		t.AddPeer(peer, pt.Addr())
+		pt.AddPeer(id, t.Addr())
+	}
+	f.nodes[id] = t
+	return t, nil
+}
+
+func (f *tcpFabric) remove(id NodeID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.nodes[id]; !ok {
+		return fmt.Errorf("%w: %v", transport.ErrUnknownPeer, id)
+	}
+	// The node closed its own transport (listener and connections);
+	// peers' stale dial entries fail on use, like a dead radio.
+	delete(f.nodes, id)
+	return nil
+}
+
+func (f *tcpFabric) close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var first error
+	for id, t := range f.nodes {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(f.nodes, id)
+	}
+	return first
+}
+
+// ackWaiter tracks one announcement's outstanding neighbor
+// acknowledgements.
+type ackWaiter struct {
+	pending map[NodeID]struct{}
+	done    chan struct{}
+}
+
+// ackTracker resolves digest announcements to waiting submitters. It
+// observes the receiver-side DigestAnnounced event from every node,
+// replacing the old 200µs sleep-poll over neighbor caches with an
+// event-driven acknowledgement.
+type ackTracker struct {
+	NopObserver
+	mu      sync.Mutex
+	waiters map[Digest]*ackWaiter
+}
+
+func newAckTracker() *ackTracker {
+	return &ackTracker{waiters: make(map[Digest]*ackWaiter)}
+}
+
+// expect registers interest in d reaching every listed neighbor. Call
+// before announcing so no acknowledgement can be missed.
+func (t *ackTracker) expect(d Digest, neighbors []NodeID) *ackWaiter {
+	w := &ackWaiter{pending: make(map[NodeID]struct{}, len(neighbors)), done: make(chan struct{})}
+	for _, nb := range neighbors {
+		w.pending[nb] = struct{}{}
+	}
+	if len(w.pending) == 0 {
+		close(w.done)
+		return w
+	}
+	t.mu.Lock()
+	t.waiters[d] = w
+	t.mu.Unlock()
+	return w
+}
+
+// OnDigestAnnounced implements Observer: one neighbor cached d.
+func (t *ackTracker) OnDigestAnnounced(e DigestAnnounced) {
+	t.mu.Lock()
+	if w, ok := t.waiters[e.Digest]; ok {
+		delete(w.pending, e.To)
+		if len(w.pending) == 0 {
+			close(w.done)
+			delete(t.waiters, e.Digest)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// cancel abandons a waiter and reports which neighbors never
+// acknowledged (empty when the waiter actually completed).
+func (t *ackTracker) cancel(d Digest) []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.waiters[d]
+	if !ok {
+		return nil
+	}
+	delete(t.waiters, d)
+	missing := make([]NodeID, 0, len(w.pending))
+	for id := range w.pending {
+		missing = append(missing, id)
+	}
+	return missing
+}
+
+// Cluster is the live Runtime driver: one node runtime per IoT device
+// exchanging real wire messages over the in-memory fabric or TCP.
+type Cluster struct {
+	topo    *topology.Graph
+	ring    *identity.Ring
+	fab     fabric
+	nodes   map[NodeID]*node.Node
+	ids     []NodeID
+	slot    atomic.Uint32
+	params  block.Params
+	seed    int64
+	gamma   int
+	rto     time.Duration
+	workers int
+	tracker *ackTracker
+	obs     Observer // user observers (may be nil); tracker added per node
+}
+
+var _ Runtime = (*Cluster)(nil)
+
+// newCluster builds and starts the live driver: keys, transports and
+// one node runtime per device of the resolved topology.
+func newCluster(cfg *config, g *topology.Graph) (*Cluster, error) {
+	c := &Cluster{
+		topo:    g,
+		nodes:   make(map[NodeID]*node.Node, g.Len()),
+		ids:     g.Nodes(),
+		params:  cfg.params,
+		seed:    cfg.seed,
+		gamma:   cfg.gamma,
+		rto:     cfg.rto,
+		workers: cfg.workers,
+		tracker: newAckTracker(),
+		obs:     events.Multi(cfg.observers...),
+	}
+	switch cfg.transport {
+	case TCP:
+		c.fab = &tcpFabric{nodes: make(map[NodeID]*transport.TCPNode)}
+	default:
+		c.fab = &memFabric{net: transport.NewNetwork()}
+	}
+	var pairs []identity.KeyPair
+	for _, id := range c.ids {
+		pairs = append(pairs, identity.Deterministic(id, cfg.seed))
+	}
+	ring, err := identity.RingFor(pairs)
+	if err != nil {
+		return nil, fmt.Errorf("twoldag: %w", err)
+	}
+	c.ring = ring
+	for _, kp := range pairs {
+		if err := c.startNode(kp); err != nil {
+			_ = c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// startNode creates the transport and runtime for one device.
+func (c *Cluster) startNode(kp identity.KeyPair) error {
+	ep, err := c.fab.endpoint(kp.ID)
+	if err != nil {
+		return fmt.Errorf("twoldag: %w", err)
+	}
+	n, err := node.New(node.Config{
+		Key:            kp,
+		Params:         c.params,
+		Topo:           c.topo,
+		Ring:           c.ring,
+		Transport:      ep,
+		Gamma:          c.gamma,
+		RequestTimeout: c.rto,
+		Observer:       events.Multi(c.tracker, c.obs),
+	})
+	if err != nil {
+		return fmt.Errorf("twoldag: starting node %v: %w", kp.ID, err)
+	}
+	slot := &c.slot
+	n.SetClock(func() uint32 { return slot.Load() })
+	c.nodes[kp.ID] = n
+	return nil
+}
+
+// Nodes implements Runtime.
+func (c *Cluster) Nodes() []NodeID {
+	return append([]NodeID(nil), c.ids...)
+}
+
+// Topology implements Runtime.
+func (c *Cluster) Topology() *Topology { return c.topo }
+
+// AdvanceSlot implements Runtime.
+func (c *Cluster) AdvanceSlot() { c.slot.Add(1) }
+
+// Slot implements Runtime.
+func (c *Cluster) Slot() uint32 { return c.slot.Load() }
+
+// liveNeighbors returns id's radio neighbors that still run a node.
+func (c *Cluster) liveNeighbors(id NodeID) []NodeID {
+	nbs := c.topo.Neighbors(id)
+	out := nbs[:0]
+	for _, nb := range nbs {
+		if _, ok := c.nodes[nb]; ok {
+			out = append(out, nb)
+		}
+	}
+	return out
+}
+
+// ackCtx bounds an acknowledgement wait: the caller's deadline rules
+// when present; otherwise the configured request timeout applies.
+func (c *Cluster) ackCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, c.rto)
+}
+
+// awaitAck blocks until every expected neighbor acknowledged d.
+func (c *Cluster) awaitAck(ctx context.Context, origin NodeID, d Digest, w *ackWaiter) error {
+	select {
+	case <-w.done:
+		return nil
+	case <-ctx.Done():
+		missing := c.tracker.cancel(d)
+		if len(missing) == 0 {
+			return nil // acknowledged in the same instant
+		}
+		return fmt.Errorf("twoldag: digest %s from %v unacknowledged by %v: %w", d, origin, missing, ctx.Err())
+	}
+}
+
+// Submit implements Runtime: seal, announce, and wait for every live
+// neighbor's acknowledgement (event-driven — see ackTracker).
+func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, error) {
+	n, ok := c.nodes[id]
+	if !ok {
+		return Ref{}, fmt.Errorf("twoldag: unknown node %v", id)
+	}
+	b, d, err := n.GenerateLocal(data)
+	if err != nil {
+		return Ref{}, err
+	}
+	w := c.tracker.expect(d, c.liveNeighbors(id))
+	actx, cancel := c.ackCtx(ctx)
+	defer cancel()
+	n.Announce(actx, d)
+	if err := c.awaitAck(actx, id, d, w); err != nil {
+		return b.Header.Ref(), err
+	}
+	return b.Header.Ref(), nil
+}
+
+// SubmitBatch implements Runtime: all blocks are sealed first, then
+// every announcement goes out in one flush and the acknowledgements
+// are awaited together, amortizing the wait over the whole slot.
+func (c *Cluster) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, error) {
+	type flush struct {
+		n *node.Node
+		d Digest
+		w *ackWaiter
+	}
+	refs := make([]Ref, 0, len(batch))
+	flushes := make([]flush, 0, len(batch))
+	fail := func(err error) ([]Ref, error) {
+		for _, f := range flushes {
+			c.tracker.cancel(f.d)
+		}
+		return refs, err
+	}
+	for _, sub := range batch {
+		n, ok := c.nodes[sub.Node]
+		if !ok {
+			return fail(fmt.Errorf("twoldag: unknown node %v", sub.Node))
+		}
+		b, d, err := n.GenerateLocal(sub.Data)
+		if err != nil {
+			return fail(err)
+		}
+		refs = append(refs, b.Header.Ref())
+		flushes = append(flushes, flush{n: n, d: d, w: c.tracker.expect(d, c.liveNeighbors(sub.Node))})
+	}
+	actx, cancel := c.ackCtx(ctx)
+	defer cancel()
+	for _, f := range flushes {
+		f.n.Announce(actx, f.d)
+	}
+	for _, f := range flushes {
+		if err := c.awaitAck(actx, f.n.ID(), f.d, f.w); err != nil {
+			return fail(err)
+		}
+	}
+	return refs, nil
+}
+
+// Audit implements Runtime.
+func (c *Cluster) Audit(ctx context.Context, validator NodeID, ref Ref) (*AuditResult, error) {
+	n, ok := c.nodes[validator]
+	if !ok {
+		return nil, fmt.Errorf("twoldag: unknown validator %v", validator)
+	}
+	return n.Audit(ctx, ref)
+}
+
+// AuditMany implements Runtime: audits fan out over a worker pool
+// bounded by WithWorkers. Node runtimes build a fresh PoP validator
+// per audit over shared, locked state, so any mix of validators may
+// run concurrently.
+func (c *Cluster) AuditMany(ctx context.Context, reqs []AuditRequest) []AuditOutcome {
+	out := make([]AuditOutcome, len(reqs))
+	fanOut(len(reqs), c.workers, func(i int) {
+		r := reqs[i]
+		res, err := c.Audit(ctx, r.Validator, r.Ref)
+		out[i] = AuditOutcome{Request: r, Result: res, Err: err}
+	})
+	return out
+}
+
+// Block implements Runtime. The returned block is shared, sealed
+// store state — treat it as read-only and Clone it before mutating.
+func (c *Cluster) Block(ref Ref) (*Block, error) {
+	n, ok := c.nodes[ref.Node]
+	if !ok {
+		return nil, fmt.Errorf("twoldag: unknown node %v", ref.Node)
+	}
+	return n.Engine().Store().Get(ref.Seq)
+}
+
+// ProveSample builds an inclusion proof for the i-th body chunk of the
+// given block.
+func (c *Cluster) ProveSample(ref Ref, leafIndex int) (*SampleProof, error) {
+	b, err := c.Block(ref)
+	if err != nil {
+		return nil, err
+	}
+	return c.params.ProveSample(b, leafIndex)
+}
+
+// VerifySample checks a sample proof against the header established by
+// a successful audit of the same block.
+func (c *Cluster) VerifySample(res *AuditResult, sp *SampleProof) error {
+	if !res.Consensus || len(res.Path) == 0 {
+		return fmt.Errorf("twoldag: audit of %v did not reach consensus", res.Target)
+	}
+	return c.params.VerifySample(res.Path[0].Header, sp)
+}
+
+// Join implements Runtime (the paper's Sec. VII dynamic-membership
+// extension): the new device is placed within radio range of the
+// newest live device, registered in the key ring, and starts serving
+// immediately.
+func (c *Cluster) Join() (NodeID, error) {
+	id, err := placeJoiner(c.topo, c.ids, func(id NodeID) bool {
+		_, ok := c.nodes[id]
+		return ok
+	})
+	if err != nil {
+		return 0, err
+	}
+	kp := identity.Deterministic(id, c.seed)
+	if err := c.ring.Register(kp.ID, kp.Public); err != nil {
+		return 0, fmt.Errorf("twoldag: registering joiner: %w", err)
+	}
+	if err := c.startNode(kp); err != nil {
+		return 0, fmt.Errorf("twoldag: joiner: %w", err)
+	}
+	c.ids = append(c.ids, id)
+	return id, nil
+}
+
+// Silence implements Runtime: the device's transport closes, and
+// subsequent audits must route around it, as in the paper's
+// malicious-node experiments.
+func (c *Cluster) Silence(id NodeID) error {
+	n, ok := c.nodes[id]
+	if !ok {
+		return fmt.Errorf("twoldag: unknown node %v", id)
+	}
+	delete(c.nodes, id)
+	err := n.Close()
+	if rerr := c.fab.remove(id); rerr != nil && err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// Close implements Runtime: every node stops, then the fabric.
+func (c *Cluster) Close() error {
+	var first error
+	for id, n := range c.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.nodes, id)
+	}
+	if err := c.fab.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

@@ -1,0 +1,132 @@
+// Command benchguard compares `go test -bench` output against the
+// checked-in hot-path baseline (BENCH_hotpath.json) and fails when a
+// benchmark regressed beyond the tolerance. CI pipes the benchmark
+// smoke through it so hot-path regressions surface as red builds
+// instead of silent drift.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Hotpath -benchtime 100x ./... | \
+//	    go run ./cmd/benchguard -baseline BENCH_hotpath.json -tolerance 0.20
+//
+// Only benchmarks present in the baseline's "micro" list are checked;
+// new benchmarks pass freely until a baseline entry is recorded.
+// Comparisons are ns/op ratios on the same machine class — refresh the
+// baseline (see its "regenerate" field) when hardware changes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the relevant slice of BENCH_hotpath.json.
+type baseline struct {
+	Micro []struct {
+		Benchmark string  `json:"benchmark"`
+		NsPerOp   float64 `json:"ns_per_op"`
+	} `json:"micro"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	path := flag.String("baseline", "BENCH_hotpath.json", "baseline JSON file")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: reading baseline: %v\n", err)
+		return 2
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: parsing baseline: %v\n", err)
+		return 2
+	}
+	want := make(map[string]float64, len(base.Micro))
+	for _, m := range base.Micro {
+		want[m.Benchmark] = m.NsPerOp
+	}
+
+	checked, regressed := 0, 0
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the output through for the CI log
+		name, ns, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		ref, tracked := want[name]
+		if !tracked || ref <= 0 {
+			continue
+		}
+		checked++
+		ratio := ns/ref - 1
+		if ratio > *tolerance {
+			regressed++
+			fmt.Fprintf(os.Stderr, "benchguard: REGRESSION %s: %.4g ns/op vs baseline %.4g (%+.1f%%, tolerance %.0f%%)\n",
+				name, ns, ref, 100*ratio, 100**tolerance)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: reading input: %v\n", err)
+		return 2
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: %d of %d tracked benchmarks regressed >%.0f%%\n",
+			regressed, checked, 100**tolerance)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchguard: %d tracked benchmarks within %.0f%% of baseline\n",
+		checked, 100**tolerance)
+	return 0
+}
+
+// parseBenchLine extracts (name, ns/op) from a testing benchmark
+// result line like:
+//
+//	BenchmarkHotpathRoot-4   100   583548 ns/op   17544 B/op   3 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so names match the
+// baseline regardless of the runner's core count.
+func parseBenchLine(line string) (string, float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", 0, false
+	}
+	nsIdx := -1
+	for i, f := range fields {
+		if f == "ns/op" {
+			nsIdx = i - 1
+			break
+		}
+	}
+	if nsIdx < 1 {
+		return "", 0, false
+	}
+	ns, err := strconv.ParseFloat(fields[nsIdx], 64)
+	if err != nil {
+		return "", 0, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, ns, true
+}

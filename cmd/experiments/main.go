@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"github.com/twoldag/twoldag/internal/experiments"
+	"github.com/twoldag/twoldag/experiments"
 )
 
 func main() {

@@ -1,12 +1,14 @@
-// Command twoldag runs a live in-process 2LDAG cluster: it generates a
-// connected IoT topology, starts one node runtime per device over the
-// in-memory transport, produces data blocks for a number of slots and
-// then audits random blocks via Proof-of-Path, printing consensus
-// results and cost counters.
+// Command twoldag runs a live 2LDAG cluster through the public Runtime
+// API: it generates a connected IoT topology, starts one node runtime
+// per device over the in-memory fabric or loopback TCP, submits data
+// blocks in per-slot batches and then fans random Proof-of-Path audits
+// out over a worker pool, printing consensus results, cost counters
+// and the typed event totals.
 //
 // Usage:
 //
-//	twoldag [-nodes N] [-slots S] [-gamma G] [-audits K] [-seed X] [-topo]
+//	twoldag [-nodes N] [-slots S] [-gamma G] [-audits K] [-seed X]
+//	        [-transport mem|tcp] [-workers W] [-topo]
 package main
 
 import (
@@ -15,9 +17,21 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync/atomic"
 
 	"github.com/twoldag/twoldag"
 )
+
+// eventTally counts the runtime's typed event stream — the sample
+// consumer for twoldag.WithObserver.
+type eventTally struct {
+	twoldag.NopObserver
+	sealed, announced, hops atomic.Int64
+}
+
+func (t *eventTally) OnBlockSealed(twoldag.BlockSealed)         { t.sealed.Add(1) }
+func (t *eventTally) OnDigestAnnounced(twoldag.DigestAnnounced) { t.announced.Add(1) }
+func (t *eventTally) OnAuditHop(twoldag.AuditHop)               { t.hops.Add(1) }
 
 func main() {
 	os.Exit(run())
@@ -29,58 +43,79 @@ func run() int {
 	gamma := flag.Int("gamma", 4, "PoP consensus threshold γ")
 	audits := flag.Int("audits", 5, "number of random audits to run")
 	seed := flag.Int64("seed", 1, "random seed")
+	transport := flag.String("transport", "mem", "message fabric: mem or tcp")
+	workers := flag.Int("workers", 0, "audit worker pool size (0 = GOMAXPROCS)")
 	topoOnly := flag.Bool("topo", false, "print topology statistics and exit")
 	flag.Parse()
 
-	cluster, err := twoldag.NewCluster(twoldag.ClusterConfig{
-		Nodes: *nodes,
-		Gamma: *gamma,
-		Seed:  *seed,
-	})
+	kind := twoldag.InMemory
+	if *transport == "tcp" {
+		kind = twoldag.TCP
+	}
+	tally := &eventTally{}
+	rt, err := twoldag.New(
+		twoldag.WithNodes(*nodes),
+		twoldag.WithGamma(*gamma),
+		twoldag.WithSeed(*seed),
+		twoldag.WithTransport(kind),
+		twoldag.WithWorkers(*workers),
+		twoldag.WithObserver(tally),
+	)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "building cluster: %v\n", err)
+		fmt.Fprintf(os.Stderr, "building runtime: %v\n", err)
 		return 1
 	}
-	defer cluster.Close()
+	defer rt.Close()
 
-	stats := cluster.Topology().Summary()
-	fmt.Printf("topology: %d nodes, %d edges, degree %.1f avg [%d..%d], diameter %d\n",
-		stats.Nodes, stats.Edges, stats.AvgDegree, stats.MinDegree, stats.MaxDegree, stats.Diameter)
+	stats := rt.Topology().Summary()
+	fmt.Printf("topology: %d nodes, %d edges, degree %.1f avg [%d..%d], diameter %d (%s transport)\n",
+		stats.Nodes, stats.Edges, stats.AvgDegree, stats.MinDegree, stats.MaxDegree, stats.Diameter, kind)
 	if *topoOnly {
 		return 0
 	}
 
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(*seed))
+	ids := rt.Nodes()
 	var refs []twoldag.Ref
 	for s := 0; s < *slots; s++ {
-		cluster.AdvanceSlot()
-		for _, id := range cluster.Nodes() {
-			ref, err := cluster.Submit(ctx, id, []byte(fmt.Sprintf("sensor %v reading @slot %d", id, s)))
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "submit %v: %v\n", id, err)
-				return 1
+		rt.AdvanceSlot()
+		batch := make([]twoldag.Submission, len(ids))
+		for i, id := range ids {
+			batch[i] = twoldag.Submission{
+				Node: id,
+				Data: []byte(fmt.Sprintf("sensor %v reading @slot %d", id, s)),
 			}
-			refs = append(refs, ref)
 		}
+		got, err := rt.SubmitBatch(ctx, batch)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "submit batch slot %d: %v\n", s, err)
+			return 1
+		}
+		refs = append(refs, got...)
 	}
-	fmt.Printf("generated %d blocks over %d slots\n", len(refs), *slots)
+	fmt.Printf("generated %d blocks over %d slots (one announcement flush per slot)\n", len(refs), *slots)
 
-	ids := cluster.Nodes()
-	for k := 0; k < *audits; k++ {
+	reqs := make([]twoldag.AuditRequest, *audits)
+	for k := range reqs {
 		target := refs[rng.Intn(len(refs)/2)] // audit the older half
 		validator := ids[rng.Intn(len(ids))]
 		for validator == target.Node {
 			validator = ids[rng.Intn(len(ids))]
 		}
-		res, err := cluster.Audit(ctx, validator, target)
-		if err != nil {
-			fmt.Printf("audit %v by %v: FAILED: %v\n", target, validator, err)
+		reqs[k] = twoldag.AuditRequest{Validator: validator, Ref: target}
+	}
+	for _, out := range rt.AuditMany(ctx, reqs) {
+		if out.Err != nil {
+			fmt.Printf("audit %v by %v: FAILED: %v\n", out.Request.Ref, out.Request.Validator, out.Err)
 			continue
 		}
+		res := out.Result
 		fmt.Printf("audit %v by %v: consensus=%v vouchers=%v path=%d msgs=%d trustHits=%d\n",
-			target, validator, res.Consensus, len(res.Vouchers), len(res.Path),
+			out.Request.Ref, out.Request.Validator, res.Consensus, len(res.Vouchers), len(res.Path),
 			res.MessagesSent+res.MessagesReceived, res.TrustHits)
 	}
+	fmt.Printf("events: %d blocks sealed, %d digests delivered, %d audit hops\n",
+		tally.sealed.Load(), tally.announced.Load(), tally.hops.Load())
 	return 0
 }

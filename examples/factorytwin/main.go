@@ -2,7 +2,8 @@
 // introduction. Machines on a factory floor stream vibration readings;
 // the factory's digital twin audits readings before trusting them for
 // maintenance decisions, and detects when a reading's provenance cannot
-// be established.
+// be established. The compliance sweep at the end fans its audits out
+// over the runtime's bounded worker pool in one AuditMany call.
 package main
 
 import (
@@ -18,21 +19,23 @@ import (
 func main() {
 	const (
 		machines = 18
-		gamma    = 5
-		shifts   = 6
+		gamma    = 4
+		shifts   = 8
 	)
-	cluster, err := twoldag.NewCluster(twoldag.ClusterConfig{
-		Nodes: machines,
-		Gamma: gamma,
-		Seed:  7,
-	})
+	rt, err := twoldag.New(
+		twoldag.WithNodes(machines),
+		twoldag.WithGamma(gamma),
+		twoldag.WithSeed(7),
+		twoldag.WithWorkers(4),
+	)
 	if err != nil {
 		log.Fatalf("factory network: %v", err)
 	}
-	defer cluster.Close()
+	defer rt.Close()
 
 	ctx := context.Background()
 	rng := rand.New(rand.NewSource(7))
+	devices := rt.Nodes()
 	type reading struct {
 		ref   twoldag.Ref
 		shift int
@@ -40,25 +43,34 @@ func main() {
 	}
 	var lake []reading
 
-	// Six shifts of vibration telemetry.
+	// Eight shifts of vibration telemetry, one batch per shift.
 	for shift := 1; shift <= shifts; shift++ {
-		cluster.AdvanceSlot()
-		for _, m := range cluster.Nodes() {
+		rt.AdvanceSlot()
+		batch := make([]twoldag.Submission, len(devices))
+		mms := make([]float64, len(devices))
+		for i, m := range devices {
 			mm := 0.2 + rng.Float64()*0.3
-			if shift == 4 && m == cluster.Nodes()[3] {
-				mm = 2.9 // anomalous spike on machine 3, shift 4
+			if shift == 3 && m == devices[3] {
+				mm = 2.9 // anomalous spike on machine 3, shift 3
 			}
-			ref, err := cluster.Submit(ctx, m, []byte(fmt.Sprintf("vibration=%.2fmm machine=%v shift=%d", mm, m, shift)))
-			if err != nil {
-				log.Fatalf("telemetry: %v", err)
+			mms[i] = mm
+			batch[i] = twoldag.Submission{
+				Node: m,
+				Data: []byte(fmt.Sprintf("vibration=%.2fmm machine=%v shift=%d", mm, m, shift)),
 			}
-			lake = append(lake, reading{ref: ref, shift: shift, mm: mm})
+		}
+		refs, err := rt.SubmitBatch(ctx, batch)
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		for i, ref := range refs {
+			lake = append(lake, reading{ref: ref, shift: shift, mm: mms[i]})
 		}
 	}
 
 	// The digital twin spots the spike and audits its provenance before
 	// scheduling maintenance.
-	twin := cluster.Nodes()[machines-1]
+	twin := devices[machines-1]
 	var spike reading
 	for _, r := range lake {
 		if r.mm > 2 {
@@ -67,7 +79,7 @@ func main() {
 		}
 	}
 	fmt.Printf("digital twin: anomalous reading %.2f mm at %v (shift %d) — auditing\n", spike.mm, spike.ref, spike.shift)
-	res, err := cluster.Audit(ctx, twin, spike.ref)
+	res, err := rt.Audit(ctx, twin, spike.ref)
 	switch {
 	case errors.Is(err, twoldag.ErrTampered):
 		fmt.Println("  VERDICT: reading tampered — maintenance order rejected")
@@ -81,17 +93,22 @@ func main() {
 		fmt.Println("  maintenance scheduled for machine", spike.ref.Node)
 	}
 
-	// Periodic compliance sweep: audit one reading per shift.
-	okCount := 0
-	for shift := 1; shift <= shifts; shift++ {
+	// Periodic compliance sweep: one reading per shift from the older
+	// half of the lake — readings become auditable once the DAG has
+	// grown past them — audited concurrently over the worker pool.
+	reqs := make([]twoldag.AuditRequest, 0, shifts/2)
+	for shift := 1; shift <= shifts/2; shift++ {
 		r := lake[(shift-1)*machines+rng.Intn(machines)]
 		if r.ref.Node == twin {
 			r = lake[(shift-1)*machines]
 		}
-		res, err := cluster.Audit(ctx, twin, r.ref)
-		if err == nil && res.Consensus {
+		reqs = append(reqs, twoldag.AuditRequest{Validator: twin, Ref: r.ref})
+	}
+	okCount := 0
+	for _, out := range rt.AuditMany(ctx, reqs) {
+		if out.Err == nil && out.Result.Consensus {
 			okCount++
 		}
 	}
-	fmt.Printf("compliance sweep: %d/%d sampled readings verified\n", okCount, shifts)
+	fmt.Printf("compliance sweep: %d/%d sampled readings verified\n", okCount, len(reqs))
 }

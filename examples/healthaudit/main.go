@@ -14,40 +14,45 @@ import (
 )
 
 func main() {
-	cluster, err := twoldag.NewCluster(twoldag.ClusterConfig{
-		Nodes: 14, // body-area + home sensors
-		Gamma: 3,
-		Seed:  11,
-	})
+	rt, err := twoldag.New(
+		twoldag.WithNodes(14), // body-area + home sensors
+		twoldag.WithGamma(3),
+		twoldag.WithSeed(11),
+	)
 	if err != nil {
 		log.Fatalf("health network: %v", err)
 	}
-	defer cluster.Close()
+	defer rt.Close()
 
 	ctx := context.Background()
-	devices := cluster.Nodes()
+	devices := rt.Nodes()
 	kinds := []string{"heart-rate", "spo2", "temperature", "steps", "sleep", "bp"}
 
-	// A day of periodic measurements.
+	// A day of periodic measurements, one batch per hour.
 	var morning twoldag.Ref
 	for hour := 0; hour < 8; hour++ {
-		cluster.AdvanceSlot()
+		rt.AdvanceSlot()
+		batch := make([]twoldag.Submission, len(devices))
 		for i, dev := range devices {
 			kind := kinds[i%len(kinds)]
-			ref, err := cluster.Submit(ctx, dev, []byte(fmt.Sprintf("%s sample dev=%v hour=%d", kind, dev, hour)))
-			if err != nil {
-				log.Fatalf("sample: %v", err)
+			batch[i] = twoldag.Submission{
+				Node: dev,
+				Data: []byte(fmt.Sprintf("%s sample dev=%v hour=%d", kind, dev, hour)),
 			}
-			if hour == 0 && i == 0 {
-				morning = ref
-			}
+		}
+		refs, err := rt.SubmitBatch(ctx, batch)
+		if err != nil {
+			log.Fatalf("sample: %v", err)
+		}
+		if hour == 0 {
+			morning = refs[0]
 		}
 	}
 
 	// Two wearables go offline before the evening audit.
 	offline := []twoldag.NodeID{devices[2], devices[5]}
 	for _, dev := range offline {
-		if err := cluster.Silence(dev); err != nil {
+		if err := rt.Silence(dev); err != nil {
 			log.Fatalf("silence: %v", err)
 		}
 	}
@@ -56,7 +61,7 @@ func main() {
 	// The clinician's audit still succeeds: PoP constructs a voucher
 	// path through the devices that remain reachable.
 	clinician := devices[len(devices)-1]
-	res, err := cluster.Audit(ctx, clinician, morning)
+	res, err := rt.Audit(ctx, clinician, morning)
 	if err != nil {
 		log.Fatalf("audit: %v", err)
 	}

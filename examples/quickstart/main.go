@@ -1,5 +1,5 @@
-// Quickstart: stand up a small 2LDAG network, submit sensor data and
-// audit it via Proof-of-Path.
+// Quickstart: stand up a small 2LDAG network through the Runtime API,
+// submit sensor data and audit it via Proof-of-Path.
 package main
 
 import (
@@ -11,40 +11,50 @@ import (
 )
 
 func main() {
-	// A 12-device IoT network tolerating γ=3 malicious nodes.
-	cluster, err := twoldag.NewCluster(twoldag.ClusterConfig{
-		Nodes: 12,
-		Gamma: 3,
-		Seed:  42,
-	})
+	// A 12-device IoT network tolerating γ=3 malicious nodes. New
+	// defaults to the live driver over the in-memory fabric; swap in
+	// twoldag.WithTransport(twoldag.TCP) for real sockets, or
+	// twoldag.WithSimulator() for the deterministic simulator — same
+	// verbs either way.
+	rt, err := twoldag.New(
+		twoldag.WithNodes(12),
+		twoldag.WithGamma(3),
+		twoldag.WithSeed(42),
+	)
 	if err != nil {
-		log.Fatalf("building cluster: %v", err)
+		log.Fatalf("building runtime: %v", err)
 	}
-	defer cluster.Close()
+	defer rt.Close()
 
 	ctx := context.Background()
-	devices := cluster.Nodes()
+	devices := rt.Nodes()
 
 	// Every device seals one reading per slot; headers digest-link into
-	// the logical DAG as announcements propagate.
+	// the logical DAG as announcements propagate. SubmitBatch seals the
+	// whole slot first and flushes every announcement at once.
 	var first twoldag.Ref
 	for slot := 1; slot <= 4; slot++ {
-		cluster.AdvanceSlot()
-		for _, dev := range devices {
-			ref, err := cluster.Submit(ctx, dev, []byte(fmt.Sprintf("temp=%d.%dC dev=%v slot=%d", 20+slot, int(dev), dev, slot)))
-			if err != nil {
-				log.Fatalf("submit: %v", err)
+		rt.AdvanceSlot()
+		batch := make([]twoldag.Submission, len(devices))
+		for i, dev := range devices {
+			batch[i] = twoldag.Submission{
+				Node: dev,
+				Data: []byte(fmt.Sprintf("temp=%d.%dC dev=%v slot=%d", 20+slot, int(dev), dev, slot)),
 			}
-			if slot == 1 && dev == devices[0] {
-				first = ref
-			}
+		}
+		refs, err := rt.SubmitBatch(ctx, batch)
+		if err != nil {
+			log.Fatalf("submit: %v", err)
+		}
+		if slot == 1 {
+			first = refs[0]
 		}
 	}
 
 	// An operator audits the very first reading: PoP walks the DAG
 	// until γ+1 = 4 distinct devices vouch for it.
 	operator := devices[len(devices)-1]
-	res, err := cluster.Audit(ctx, operator, first)
+	res, err := rt.Audit(ctx, operator, first)
 	if err != nil {
 		log.Fatalf("audit: %v", err)
 	}
@@ -55,7 +65,7 @@ func main() {
 
 	// A second audit of the same block is nearly free: the trusted
 	// header cache H_i answers without network traffic (TPS).
-	res2, err := cluster.Audit(ctx, operator, first)
+	res2, err := rt.Audit(ctx, operator, first)
 	if err != nil {
 		log.Fatalf("re-audit: %v", err)
 	}

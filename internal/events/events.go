@@ -1,0 +1,148 @@
+// Package events defines the typed observation stream of a running
+// 2LDAG deployment. Every driver — the live node-per-device cluster
+// and the deterministic slot simulator — emits the same five event
+// kinds at the same protocol moments, so metrics aggregation, test
+// instrumentation and user dashboards are written once against this
+// vocabulary instead of per-driver ad-hoc counters:
+//
+//   - BlockSealed       — a node sealed its next data block (Sec. III-D).
+//   - DigestAnnounced   — a neighbor ingested a header-digest
+//     announcement into its A_i cache (receiver side, so the event
+//     doubles as a delivery acknowledgement).
+//   - AuditHop          — a PoP validator issued one REQ_CHILD probe
+//     (Sec. IV, Algorithm 3 line 17).
+//   - ConsensusReached  — an audit collected γ+1 distinct vouchers.
+//   - AuditFailed       — an audit ended without consensus.
+//
+// Observers may be invoked concurrently from generation and audit
+// worker pools; implementations must be safe for concurrent use.
+// Observer calls sit on protocol hot paths — keep them cheap and
+// non-blocking (count, sample or enqueue; never do I/O inline).
+package events
+
+import (
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// BlockSealed reports that Node sealed (mined, signed, appended) its
+// block Ref at logical time Slot; Digest is H(b^h), the identity its
+// neighbors will learn.
+type BlockSealed struct {
+	Node   identity.NodeID
+	Ref    block.Ref
+	Digest digest.Digest
+	Slot   uint32
+}
+
+// DigestAnnounced reports that To ingested From's announcement of
+// Digest into its neighbor cache A_i. It fires on the receiver, after
+// the DoS guard and the neighbor check accepted the announcement, so a
+// sender observing the event knows the digest truly landed.
+type DigestAnnounced struct {
+	From, To identity.NodeID
+	Digest   digest.Digest
+}
+
+// AuditHop reports one REQ_CHILD probe: Validator asked Responder for
+// a block whose Δ contains Target.
+type AuditHop struct {
+	Validator, Responder identity.NodeID
+	Target               digest.Digest
+}
+
+// ConsensusReached reports a successful PoP audit of Target by
+// Validator. Vouchers is shared with the audit result — treat it as
+// read-only.
+type ConsensusReached struct {
+	Validator identity.NodeID
+	Target    block.Ref
+	Vouchers  []identity.NodeID
+	PathLen   int
+	Messages  int
+	TrustHits int
+}
+
+// AuditFailed reports a PoP audit of Target by Validator that ended
+// without γ+1 vouchers; Err carries the terminal error when one
+// surfaced (e.g. core.ErrNoConsensus, a root mismatch, or a canceled
+// context).
+type AuditFailed struct {
+	Validator identity.NodeID
+	Target    block.Ref
+	Err       error
+}
+
+// Observer receives the typed event stream. Implementations must be
+// safe for concurrent use; embed Nop to only handle the kinds you care
+// about.
+type Observer interface {
+	OnBlockSealed(BlockSealed)
+	OnDigestAnnounced(DigestAnnounced)
+	OnAuditHop(AuditHop)
+	OnConsensusReached(ConsensusReached)
+	OnAuditFailed(AuditFailed)
+}
+
+// Nop is an Observer that ignores every event. Embed it to implement
+// only a subset of the interface.
+type Nop struct{}
+
+func (Nop) OnBlockSealed(BlockSealed)           {}
+func (Nop) OnDigestAnnounced(DigestAnnounced)   {}
+func (Nop) OnAuditHop(AuditHop)                 {}
+func (Nop) OnConsensusReached(ConsensusReached) {}
+func (Nop) OnAuditFailed(AuditFailed)           {}
+
+// multi fans one event stream out to several observers, in order.
+type multi []Observer
+
+func (m multi) OnBlockSealed(e BlockSealed) {
+	for _, o := range m {
+		o.OnBlockSealed(e)
+	}
+}
+
+func (m multi) OnDigestAnnounced(e DigestAnnounced) {
+	for _, o := range m {
+		o.OnDigestAnnounced(e)
+	}
+}
+
+func (m multi) OnAuditHop(e AuditHop) {
+	for _, o := range m {
+		o.OnAuditHop(e)
+	}
+}
+
+func (m multi) OnConsensusReached(e ConsensusReached) {
+	for _, o := range m {
+		o.OnConsensusReached(e)
+	}
+}
+
+func (m multi) OnAuditFailed(e AuditFailed) {
+	for _, o := range m {
+		o.OnAuditFailed(e)
+	}
+}
+
+// Multi combines observers into one, dropping nils. It returns nil
+// when nothing remains (callers treat a nil Observer as "no
+// observation"), and the sole survivor unwrapped when only one does.
+func Multi(obs ...Observer) Observer {
+	var live []Observer
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return multi(live)
+}

@@ -45,25 +45,48 @@ var (
 	ErrNotFound    = errors.New("ledger: block not found")
 )
 
+// storeShardCount shards the digest-keyed indexes by digest prefix so
+// concurrent audit fan-out (AuditMany, parallel simulator slots)
+// querying one responder's store does not serialize on a single
+// RWMutex. Power of two; header digests are uniform hashes, so the
+// first byte balances shards.
+const storeShardCount = 16
+
+// storeShard holds the digest-keyed lookup state for one prefix class.
+// Values are block pointers (not log indexes) so lookups never touch
+// the main log lock.
+type storeShard struct {
+	mu       sync.RWMutex
+	byHash   map[digest.Digest]*block.Block
+	contains map[digest.Digest][]*block.Block // ascending seq = oldest first
+}
+
 // Store is S_i: the append-only log of one node's own blocks, with an
 // index answering the responder query of Algorithm 4 — "the oldest of my
-// blocks whose Δ contains digest d".
+// blocks whose Δ contains digest d". The log itself sits behind one
+// RWMutex; the digest-keyed indexes are sharded by digest prefix so
+// responder lookups from many concurrent audits spread across locks.
 type Store struct {
 	mu        sync.RWMutex
 	owner     identity.NodeID
 	blocks    []*block.Block
-	byHash    map[digest.Digest]int
-	contains  map[digest.Digest][]int // ascending seq = oldest first
 	bodyBytes int64
+
+	shards [storeShardCount]storeShard
 }
 
 // NewStore creates an empty log owned by the given node.
 func NewStore(owner identity.NodeID) *Store {
-	return &Store{
-		owner:    owner,
-		byHash:   make(map[digest.Digest]int),
-		contains: make(map[digest.Digest][]int),
+	s := &Store{owner: owner}
+	for i := range s.shards {
+		s.shards[i].byHash = make(map[digest.Digest]*block.Block)
+		s.shards[i].contains = make(map[digest.Digest][]*block.Block)
 	}
+	return s
+}
+
+func (s *Store) shard(d digest.Digest) *storeShard {
+	return &s.shards[d[0]&(storeShardCount-1)]
 }
 
 // Owner returns the owning node's ID.
@@ -93,16 +116,25 @@ func (s *Store) Append(b *block.Block) error {
 	if int(cp.Header.Seq) != len(s.blocks) {
 		return fmt.Errorf("%w: seq %d, want %d", ErrBadSeq, cp.Header.Seq, len(s.blocks))
 	}
-	idx := len(s.blocks)
 	s.blocks = append(s.blocks, cp)
-	s.byHash[hh] = idx
+	s.bodyBytes += int64(len(cp.Body))
+	// Index updates take the shard locks while still holding the main
+	// lock: appends are serialized anyway (the seq check demands it), and
+	// publishing under the shard lock keeps each index internally
+	// consistent for lock-free-of-main readers.
+	hs := s.shard(hh)
+	hs.mu.Lock()
+	hs.byHash[hh] = cp
+	hs.mu.Unlock()
 	for _, ref := range cp.Header.Digests {
 		if ref.Digest.IsZero() {
 			continue
 		}
-		s.contains[ref.Digest] = append(s.contains[ref.Digest], idx)
+		cs := s.shard(ref.Digest)
+		cs.mu.Lock()
+		cs.contains[ref.Digest] = append(cs.contains[ref.Digest], cp)
+		cs.mu.Unlock()
 	}
-	s.bodyBytes += int64(len(cp.Body))
 	return nil
 }
 
@@ -137,13 +169,11 @@ func (s *Store) Latest() *block.Block {
 
 // ByHash returns the (sealed, read-only) block whose header hashes to d.
 func (s *Store) ByHash(d digest.Digest) (*block.Block, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	idx, ok := s.byHash[d]
-	if !ok {
-		return nil, false
-	}
-	return s.blocks[idx], true
+	sh := s.shard(d)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	b, ok := sh.byHash[d]
+	return b, ok
 }
 
 // OldestContaining implements the responder's selection rule (Alg. 4,
@@ -151,22 +181,24 @@ func (s *Store) ByHash(d digest.Digest) (*block.Block, bool) {
 // oldest (sealed, read-only). The second result is false when no block
 // matches.
 func (s *Store) OldestContaining(d digest.Digest) (*block.Block, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	idxs := s.contains[d]
-	if len(idxs) == 0 {
+	sh := s.shard(d)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	bs := sh.contains[d]
+	if len(bs) == 0 {
 		return nil, false
 	}
-	return s.blocks[idxs[0]], true
+	return bs[0], true
 }
 
 // CountContaining returns |C_j'(b)|: how many of the owner's blocks
 // reference digest d. Exposed for the micro-loop analysis tests
 // (Prop. 5).
 func (s *Store) CountContaining(d digest.Digest) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.contains[d])
+	sh := s.shard(d)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return len(sh.contains[d])
 }
 
 // BodyBytes returns the cumulative body payload stored, in bytes.

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"sync/atomic"
+
+	"github.com/twoldag/twoldag/internal/events"
+)
+
+// EventCounters aggregates the typed event stream (internal/events)
+// into atomic counters. It replaces the ad-hoc per-driver tallies the
+// simulator and the experiment harness used to keep: both drivers emit
+// the same events, so one counter type serves every deployment shape.
+// All methods are safe for concurrent use from generation and audit
+// worker pools; because atomic addition is commutative the final
+// totals are independent of scheduling order, which keeps
+// deterministic-simulator reports reproducible under any worker count.
+type EventCounters struct {
+	blocksSealed     atomic.Int64
+	digestsAnnounced atomic.Int64
+	auditHops        atomic.Int64
+	consensusReached atomic.Int64
+	auditsFailed     atomic.Int64
+}
+
+var _ events.Observer = (*EventCounters)(nil)
+
+// OnBlockSealed implements events.Observer.
+func (c *EventCounters) OnBlockSealed(events.BlockSealed) { c.blocksSealed.Add(1) }
+
+// OnDigestAnnounced implements events.Observer.
+func (c *EventCounters) OnDigestAnnounced(events.DigestAnnounced) { c.digestsAnnounced.Add(1) }
+
+// OnAuditHop implements events.Observer.
+func (c *EventCounters) OnAuditHop(events.AuditHop) { c.auditHops.Add(1) }
+
+// OnConsensusReached implements events.Observer.
+func (c *EventCounters) OnConsensusReached(events.ConsensusReached) { c.consensusReached.Add(1) }
+
+// OnAuditFailed implements events.Observer.
+func (c *EventCounters) OnAuditFailed(events.AuditFailed) { c.auditsFailed.Add(1) }
+
+// BlocksSealed returns the number of BlockSealed events observed.
+func (c *EventCounters) BlocksSealed() int64 { return c.blocksSealed.Load() }
+
+// DigestsAnnounced returns the number of accepted digest deliveries.
+func (c *EventCounters) DigestsAnnounced() int64 { return c.digestsAnnounced.Load() }
+
+// AuditHops returns the number of REQ_CHILD probes observed.
+func (c *EventCounters) AuditHops() int64 { return c.auditHops.Load() }
+
+// ConsensusReached returns the number of successful audits.
+func (c *EventCounters) ConsensusReached() int64 { return c.consensusReached.Load() }
+
+// AuditsFailed returns the number of audits that ended without
+// consensus.
+func (c *EventCounters) AuditsFailed() int64 { return c.auditsFailed.Load() }
+
+// Audits returns the total number of completed audits, successful or
+// not.
+func (c *EventCounters) Audits() int64 { return c.consensusReached.Load() + c.auditsFailed.Load() }

@@ -20,6 +20,7 @@ import (
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/core"
 	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/events"
 	"github.com/twoldag/twoldag/internal/identity"
 	"github.com/twoldag/twoldag/internal/ledger"
 	"github.com/twoldag/twoldag/internal/topology"
@@ -51,6 +52,11 @@ type Config struct {
 	// AnnounceWindow bans the sender (0 values disable the guard).
 	AnnounceWindow time.Duration
 	AnnounceLimit  int
+	// Observer, when non-nil, receives the node's typed event stream
+	// (block seals, accepted digest deliveries, audit hops and
+	// outcomes). Called from transport and audit goroutines — must be
+	// safe for concurrent use and cheap.
+	Observer events.Observer
 }
 
 // Node is a running 2LDAG participant.
@@ -170,25 +176,54 @@ func (n *Node) onAnnounce(msg *wire.Message) {
 			return
 		}
 	}
-	_ = n.engine.OnDigest(from, msg.Digest) // non-neighbors rejected inside
+	if err := n.engine.OnDigest(from, msg.Digest); err != nil {
+		return // non-neighbors rejected inside
+	}
+	if obs := n.cfg.Observer; obs != nil {
+		// Receiver-side event: the digest is now in A_i, so the sender
+		// can treat this as a delivery acknowledgement.
+		obs.OnDigestAnnounced(events.DigestAnnounced{From: from, To: n.ID(), Digest: msg.Digest})
+	}
 }
 
 // Generate produces the node's next block from body and announces its
-// digest to every neighbor.
+// digest to every neighbor. Equivalent to GenerateLocal followed by
+// Announce; callers that need to observe the announcement (e.g. an
+// event-driven delivery ack) use the two halves directly.
 func (n *Node) Generate(ctx context.Context, body []byte) (*block.Block, error) {
-	b, d, err := n.engine.Generate(n.slot(), body)
+	b, d, err := n.GenerateLocal(body)
 	if err != nil {
 		return nil, err
 	}
+	n.Announce(ctx, d)
+	return b, nil
+}
+
+// GenerateLocal seals the node's next block from body — mined, signed
+// and appended to S_i — without announcing it, and returns the block
+// together with the digest to announce.
+func (n *Node) GenerateLocal(body []byte) (*block.Block, digest.Digest, error) {
+	slot := n.slot()
+	b, d, err := n.engine.Generate(slot, body)
+	if err != nil {
+		return nil, digest.Digest{}, err
+	}
+	if obs := n.cfg.Observer; obs != nil {
+		obs.OnBlockSealed(events.BlockSealed{Node: n.ID(), Ref: b.Header.Ref(), Digest: d, Slot: slot})
+	}
+	return b, d, nil
+}
+
+// Announce broadcasts a sealed block's digest to every radio neighbor
+// (Sec. III-D). Losses are tolerated: neighbors that miss the digest
+// pick up the next one (A_i keeps only the latest anyway).
+func (n *Node) Announce(ctx context.Context, d digest.Digest) {
 	for _, nb := range n.cfg.Topo.Neighbors(n.ID()) {
 		msg := wire.NewDigestAnnounce(n.ID(), nb, d, n.rpc.NextNonce())
 		if err := n.rpc.Transport().Send(ctx, nb, msg); err != nil {
-			// Radio loss: neighbors that miss the digest pick up the
-			// next one (A_i keeps only the latest anyway).
 			continue
 		}
 	}
-	return b, nil
 }
 
 // Audit verifies the given block via PoP over the live network and
@@ -201,7 +236,19 @@ func (n *Node) Audit(ctx context.Context, ref block.Ref) (*core.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return v.Verify(ctx, ref, &rpcFetcher{node: n})
+	res, err := v.Verify(ctx, ref, &rpcFetcher{node: n})
+	if obs := n.cfg.Observer; obs != nil {
+		if err == nil && res.Consensus {
+			obs.OnConsensusReached(events.ConsensusReached{
+				Validator: n.ID(), Target: ref, Vouchers: res.Vouchers,
+				PathLen: len(res.Path), Messages: res.MessagesSent + res.MessagesReceived,
+				TrustHits: res.TrustHits,
+			})
+		} else {
+			obs.OnAuditFailed(events.AuditFailed{Validator: n.ID(), Target: ref, Err: err})
+		}
+	}
+	return res, err
 }
 
 // Close stops serving and releases the transport.
@@ -227,6 +274,9 @@ var _ core.Fetcher = (*rpcFetcher)(nil)
 // RequestChild implements core.Fetcher over REQ_CHILD/RPY_CHILD.
 func (f *rpcFetcher) RequestChild(ctx context.Context, j identity.NodeID, target digest.Digest) (*block.Header, error) {
 	self := f.node.ID()
+	if obs := f.node.cfg.Observer; obs != nil {
+		obs.OnAuditHop(events.AuditHop{Validator: self, Responder: j, Target: target})
+	}
 	resp, err := f.node.rpc.Call(ctx, j, func(corr, nonce uint64) *wire.Message {
 		return wire.NewReqChild(self, j, target, corr, nonce)
 	})

@@ -1,0 +1,45 @@
+// Package par holds the one concurrency primitive the runtime drivers
+// and the slot simulator share: a bounded worker pool over an indexed
+// work list.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(0..n-1) on at most workers goroutines (0 =
+// GOMAXPROCS); with one worker (or one item) it degrades to a plain
+// loop. It returns when every call has completed. fn must be safe for
+// concurrent invocation across distinct indexes.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -27,9 +27,11 @@ import (
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/core"
 	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/events"
 	"github.com/twoldag/twoldag/internal/identity"
 	"github.com/twoldag/twoldag/internal/ledger"
 	"github.com/twoldag/twoldag/internal/metrics"
+	"github.com/twoldag/twoldag/internal/par"
 	"github.com/twoldag/twoldag/internal/pow"
 	"github.com/twoldag/twoldag/internal/topology"
 )
@@ -84,6 +86,12 @@ type Config struct {
 	// random choice inside a slot draws from a per-node stream, so a
 	// given Seed produces an identical Report for any worker count.
 	Workers int
+	// Observer, when non-nil, receives the typed event stream
+	// (internal/events): block seals, digest deliveries, audit hops and
+	// outcomes. Generation and audit phases run on a worker pool, so
+	// the observer must be safe for concurrent use; the Report stays a
+	// pure function of the Config regardless of observer behavior.
+	Observer events.Observer
 }
 
 func (c Config) validate() error {
@@ -106,6 +114,12 @@ func (c Config) validate() error {
 type loggedBlock struct {
 	ref  block.Ref
 	slot int
+}
+
+// nodeSeed derives node id's private RNG stream from the run seed with
+// golden-ratio mixing so nearby seeds decorrelate.
+func nodeSeed(seed int64, id identity.NodeID) int64 {
+	return seed ^ int64(uint64(id+1)*0x9E3779B97F4A7C15)
 }
 
 // commCell is one node's transmission counter. Fields are atomic so
@@ -136,6 +150,7 @@ type Sim struct {
 	cfg     Config
 	graph   *topology.Graph
 	model   block.SizeModel
+	params  block.Params
 	ring    *identity.Ring
 	rng     *rand.Rand
 	workers int
@@ -151,13 +166,28 @@ type Sim struct {
 	// come from it, so slot outcomes are independent of worker
 	// scheduling.
 	nodeRNG []*rand.Rand
+	// vmu serializes externally driven audits per validator (AuditFrom):
+	// a validator's RNG stream is not safe for concurrent draws.
+	vmu map[identity.NodeID]*sync.Mutex
 
-	comm         []commCell
+	comm         []*commCell
 	retainedBits []int64
 	blockLog     []loggedBlock
 	slot         int
 
-	audits, failures int
+	// counters aggregates audit outcomes from the typed event stream —
+	// the Report's Audits/Failures derive from it rather than from
+	// ad-hoc tallies. obs additionally fans events out to the
+	// user-configured observer; it is never nil (it always wraps
+	// counters at least).
+	counters *metrics.EventCounters
+	obs      events.Observer
+
+	// snappedSlot is the newest slot already appended to the report
+	// series, making snapshot idempotent per slot: the slotted
+	// scheduler snapshots at the end of every Step, the external drive
+	// on AdvanceSlot, and Finalize closes a still-open final slot.
+	snappedSlot int
 
 	report *Report
 }
@@ -215,20 +245,25 @@ func New(cfg Config) (*Sim, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	ids := g.Nodes()
+	counters := &metrics.EventCounters{}
 	s := &Sim{
 		cfg:          cfg,
 		graph:        g,
 		model:        block.DefaultSizeModel(cfg.BodyBytes),
+		params:       params,
 		rng:          rng,
 		workers:      workers,
 		ids:          ids,
 		idx:          make(map[identity.NodeID]int, len(ids)),
 		engines:      make(map[identity.NodeID]*core.Engine, len(ids)),
 		validators:   make(map[identity.NodeID]*core.Validator, len(ids)),
+		vmu:          make(map[identity.NodeID]*sync.Mutex, len(ids)),
 		nodeRNG:      make([]*rand.Rand, len(ids)),
-		comm:         make([]commCell, len(ids)),
+		comm:         make([]*commCell, len(ids)),
 		retainedBits: make([]int64, len(ids)),
 		periods:      make([]int, len(ids)),
+		counters:     counters,
+		obs:          events.Multi(counters, cfg.Observer),
 		report:       &Report{},
 	}
 	var pairs []identity.KeyPair
@@ -241,9 +276,11 @@ func New(cfg Config) (*Sim, error) {
 			return nil, fmt.Errorf("sim: engine %v: %w", id, err)
 		}
 		s.engines[id] = eng
+		s.comm[i] = &commCell{}
 		// A fixed per-node stream, derived from the run seed and the
 		// node ID with golden-ratio mixing so nearby seeds decorrelate.
-		s.nodeRNG[i] = rand.New(rand.NewSource(cfg.Seed ^ int64(uint64(id+1)*0x9E3779B97F4A7C15)))
+		s.nodeRNG[i] = rand.New(rand.NewSource(nodeSeed(cfg.Seed, id)))
+		s.vmu[id] = &sync.Mutex{}
 		s.periods[i] = 1
 		if cfg.RandomPeriodMax >= 2 {
 			s.periods[i] = 1 + rng.Intn(cfg.RandomPeriodMax)
@@ -342,7 +379,10 @@ func (s *Sim) blockModelBits(h *block.Header) int64 {
 func (s *Sim) Step() error {
 	s.slot++
 	var gens []int
-	for i := range s.ids {
+	for i, id := range s.ids {
+		if _, live := s.engines[id]; !live {
+			continue // silenced via dynamic membership
+		}
 		if (s.slot-1)%s.periods[i] == 0 {
 			gens = append(gens, i)
 		}
@@ -368,6 +408,9 @@ func (s *Sim) Step() error {
 		// DAG construction traffic: one digest per neighbor (Sec. III-D).
 		deg := s.graph.Degree(id)
 		s.comm[i].add(metrics.Construction, int64(deg)*int64(s.model.DigestBits()))
+		s.obs.OnBlockSealed(events.BlockSealed{
+			Node: id, Ref: b.Header.Ref(), Digest: d, Slot: uint32(s.slot),
+		})
 		results[k] = genResult{ref: b.Header.Ref(), dig: d}
 	})
 
@@ -378,16 +421,16 @@ func (s *Sim) Step() error {
 		if r.err != nil {
 			return r.err
 		}
-		for _, nb := range s.graph.Neighbors(id) {
-			if err := s.engines[nb].OnDigest(id, r.dig); err != nil {
-				return fmt.Errorf("sim: announcing %v -> %v: %w", id, nb, err)
-			}
+		if err := s.announce(id, r.dig); err != nil {
+			return err
 		}
 		s.blockLog = append(s.blockLog, loggedBlock{ref: r.ref, slot: s.slot})
 		s.report.Blocks++
 	}
 
-	// Phase 3: parallel audit duty for honest generators.
+	// Phase 3: parallel audit duty for honest generators. Outcome
+	// accounting rides the typed event stream (atomic counters), so the
+	// totals are independent of worker scheduling.
 	if !s.cfg.DisableAudits {
 		var auditors []int
 		for _, i := range gens {
@@ -396,77 +439,66 @@ func (s *Sim) Step() error {
 			}
 		}
 		eligible := s.eligibleTargets()
-		type auditResult struct{ audited, failed bool }
-		outcomes := make([]auditResult, len(auditors))
 		s.forEach(len(auditors), func(k int) {
-			i := auditors[k]
-			audited, failed := s.auditDuty(i, eligible)
-			outcomes[k] = auditResult{audited: audited, failed: failed}
+			s.auditDuty(auditors[k], eligible)
 		})
-		for _, o := range outcomes {
-			if o.audited {
-				s.audits++
-			}
-			if o.failed {
-				s.failures++
-			}
-		}
 	}
 
 	s.snapshot()
 	return nil
 }
 
+// announce delivers a freshly sealed digest to every live neighbor's
+// A_i cache, emitting the receiver-side DigestAnnounced event.
+func (s *Sim) announce(id identity.NodeID, d digest.Digest) error {
+	for _, nb := range s.graph.Neighbors(id) {
+		eng, live := s.engines[nb]
+		if !live {
+			continue // silenced neighbors miss the announcement
+		}
+		if err := eng.OnDigest(id, d); err != nil {
+			return fmt.Errorf("sim: announcing %v -> %v: %w", id, nb, err)
+		}
+		s.obs.OnDigestAnnounced(events.DigestAnnounced{From: id, To: nb, Digest: d})
+	}
+	return nil
+}
+
 // forEach runs fn(0..n-1) on the worker pool; with one worker (or one
 // item) it degrades to a plain loop.
 func (s *Sim) forEach(n int, fn func(k int)) {
-	w := s.workers
-	if w > n {
-		w = n
-	}
-	if w <= 1 {
-		for k := 0; k < n; k++ {
-			fn(k)
-		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for j := 0; j < w; j++ {
-		go func() {
-			defer wg.Done()
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= n {
-					return
-				}
-				fn(k)
-			}
-		}()
-	}
-	wg.Wait()
+	par.ForEach(n, s.workers, fn)
 }
 
 // auditDuty runs one PoP verification of a random sufficiently old
-// block (Sec. VI: a node acts as validator whenever it generates). It
-// reports whether an audit ran and whether it failed; retained-storage
+// block (Sec. VI: a node acts as validator whenever it generates).
+// Outcomes flow through the typed event stream; retained-storage
 // accounting goes straight to the auditor's own slot.
-func (s *Sim) auditDuty(i int, eligibleTargets int) (audited, failed bool) {
+func (s *Sim) auditDuty(i int, eligibleTargets int) {
 	id := s.ids[i]
 	target, ok := s.pickTarget(i, eligibleTargets)
 	if !ok {
-		return false, false
+		return
 	}
 	res, err := s.validators[id].Verify(context.Background(), target, &simFetcher{sim: s, validator: id})
-	if err != nil || !res.Consensus {
-		return true, true
-	}
-	if s.cfg.RetainVerifiedBlocks {
+	s.observeOutcome(id, target, res, err)
+	if err == nil && res.Consensus && s.cfg.RetainVerifiedBlocks {
 		// The validator holds on to the retrieved block (header+body).
 		s.retainedBits[i] += s.blockModelBits(res.Path[0].Header)
 	}
-	return true, false
+}
+
+// observeOutcome emits the terminal audit event for a verification.
+func (s *Sim) observeOutcome(v identity.NodeID, target block.Ref, res *core.Result, err error) {
+	if err == nil && res.Consensus {
+		s.obs.OnConsensusReached(events.ConsensusReached{
+			Validator: v, Target: target, Vouchers: res.Vouchers,
+			PathLen: len(res.Path), Messages: res.MessagesSent + res.MessagesReceived,
+			TrustHits: res.TrustHits,
+		})
+		return
+	}
+	s.obs.OnAuditFailed(events.AuditFailed{Validator: v, Target: target, Err: err})
 }
 
 // eligibleTargets returns the length of the blockLog prefix old enough
@@ -499,8 +531,13 @@ func (s *Sim) pickTarget(i, eligible int) (block.Ref, bool) {
 	return block.Ref{}, false
 }
 
-// snapshot appends this slot's aggregate points to the report.
+// snapshot appends the current slot's aggregate points to the report,
+// at most once per slot.
 func (s *Sim) snapshot() {
+	if s.slot == 0 || s.snappedSlot >= s.slot {
+		return
+	}
+	s.snappedSlot = s.slot
 	var storage, comm, constr, cons int64
 	for i, id := range s.ids {
 		storage += s.storageBits(id)
@@ -517,8 +554,12 @@ func (s *Sim) snapshot() {
 }
 
 // storageBits is the node's total footprint under the size model.
+// Silenced nodes contribute nothing (their state left the network).
 func (s *Sim) storageBits(id identity.NodeID) int64 {
-	eng := s.engines[id]
+	eng, live := s.engines[id]
+	if !live {
+		return 0
+	}
 	total := eng.Store().ModelBits(s.model) + s.retainedBits[s.idx[id]]
 	if !s.cfg.DisableTrust {
 		total += eng.Trust().ModelBits(s.model)
@@ -536,10 +577,14 @@ func (s *Sim) Run() (*Report, error) {
 	return s.Finalize(), nil
 }
 
-// Finalize fills the per-node samples and returns the report.
+// Finalize fills the per-node samples and returns the report. Audit
+// totals come from the event counters, so externally driven audits
+// (AuditFrom) count alongside per-slot audit duty; an externally
+// driven run's still-open final slot is snapshotted here.
 func (s *Sim) Finalize() *Report {
+	s.snapshot()
 	r := s.report
-	r.Audits, r.Failures = s.audits, s.failures
+	r.Audits, r.Failures = int(s.counters.Audits()), int(s.counters.AuditsFailed())
 	r.NodeStorageBits = make([]int64, len(s.ids))
 	r.NodeCommBits = make([]int64, len(s.ids))
 	for i, id := range s.ids {
@@ -549,6 +594,167 @@ func (s *Sim) Finalize() *Report {
 	return r
 }
 
+// The methods below drive a Sim externally, one protocol verb at a
+// time, instead of via the slotted Step schedule. They power the
+// public Runtime facade's deterministic-simulator driver: the same
+// engines, fetcher accounting and attack behaviors, but generation and
+// audits happen exactly when the caller says so. Do not mix external
+// drive with Step on the same Sim, and do not call membership methods
+// (JoinNode, Silence) concurrently with submissions or audits.
+
+// AdvanceSlot closes the current logical slot — appending its
+// aggregate storage/comm sample to the report, mirroring Step's
+// per-slot snapshot — and begins the next one. Blocks submitted
+// afterwards carry the new slot in their Time field.
+func (s *Sim) AdvanceSlot() {
+	s.snapshot()
+	s.slot++
+}
+
+// SubmitAs makes node id seal body into its next block and announce
+// the digest to its live neighbors, charging construction traffic to
+// the size model exactly as the slotted scheduler does.
+func (s *Sim) SubmitAs(id identity.NodeID, body []byte) (block.Ref, error) {
+	ref, d, err := s.GenerateAs(id, body)
+	if err != nil {
+		return block.Ref{}, err
+	}
+	if err := s.AnnounceAs(id, d); err != nil {
+		return block.Ref{}, err
+	}
+	return ref, nil
+}
+
+// GenerateAs seals node id's next block from body without announcing
+// it, returning the block ref and the digest to announce. Batch
+// submitters generate a whole slot's blocks first and then flush all
+// announcements with AnnounceAs, mirroring the slotted scheduler's
+// generation/announcement phase split.
+func (s *Sim) GenerateAs(id identity.NodeID, body []byte) (block.Ref, digest.Digest, error) {
+	i, known := s.idx[id]
+	eng, live := s.engines[id]
+	if !known || !live {
+		return block.Ref{}, digest.Digest{}, fmt.Errorf("sim: unknown or silenced node %v", id)
+	}
+	b, d, err := eng.Generate(uint32(s.slot), body)
+	if err != nil {
+		return block.Ref{}, digest.Digest{}, fmt.Errorf("sim: slot %d: %w", s.slot, err)
+	}
+	s.comm[i].add(metrics.Construction, int64(s.graph.Degree(id))*int64(s.model.DigestBits()))
+	s.obs.OnBlockSealed(events.BlockSealed{
+		Node: id, Ref: b.Header.Ref(), Digest: d, Slot: uint32(s.slot),
+	})
+	s.blockLog = append(s.blockLog, loggedBlock{ref: b.Header.Ref(), slot: s.slot})
+	s.report.Blocks++
+	return b.Header.Ref(), d, nil
+}
+
+// AnnounceAs delivers a digest returned by GenerateAs to id's live
+// neighbors.
+func (s *Sim) AnnounceAs(id identity.NodeID, d digest.Digest) error {
+	return s.announce(id, d)
+}
+
+// BlockOf fetches a block from its origin's store (display and sample
+// proofs). The result is shared sealed store state — read-only.
+func (s *Sim) BlockOf(ref block.Ref) (*block.Block, error) {
+	eng, live := s.engines[ref.Node]
+	if !live {
+		return nil, fmt.Errorf("sim: unknown or silenced node %v", ref.Node)
+	}
+	return eng.Store().Get(ref.Seq)
+}
+
+// AuditFrom runs a PoP verification from the given validator's
+// persistent validator (H_i and the verification cache carry over
+// between audits, as on a live node). Safe for concurrent use across
+// distinct validators; audits from the same validator serialize on a
+// per-validator mutex because its RNG stream is not concurrency-safe.
+func (s *Sim) AuditFrom(ctx context.Context, validator identity.NodeID, target block.Ref) (*core.Result, error) {
+	v, ok := s.validators[validator]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown or silenced validator %v", validator)
+	}
+	mu := s.vmu[validator]
+	mu.Lock()
+	res, err := v.Verify(ctx, target, &simFetcher{sim: s, validator: validator})
+	mu.Unlock()
+	s.observeOutcome(validator, target, res, err)
+	return res, err
+}
+
+// JoinNode registers a node that was already added to the shared
+// topology: deterministic identity from the run seed, a fresh engine
+// and persistent validator, and zeroed accounting. The id must be new
+// to the simulation.
+func (s *Sim) JoinNode(id identity.NodeID) error {
+	if _, known := s.idx[id]; known {
+		return fmt.Errorf("sim: node %v already known", id)
+	}
+	if !s.graph.Has(id) {
+		return fmt.Errorf("sim: joiner %v not in topology", id)
+	}
+	key := identity.Deterministic(id, s.cfg.Seed)
+	if err := s.ring.Register(key.ID, key.Public); err != nil {
+		return fmt.Errorf("sim: registering joiner: %w", err)
+	}
+	eng, err := core.NewEngine(key, s.params, s.graph)
+	if err != nil {
+		return fmt.Errorf("sim: joiner engine: %w", err)
+	}
+	i := len(s.ids)
+	s.idx[id] = i
+	s.ids = append(s.ids, id)
+	s.engines[id] = eng
+	s.comm = append(s.comm, &commCell{})
+	s.retainedBits = append(s.retainedBits, 0)
+	s.periods = append(s.periods, 1)
+	s.nodeRNG = append(s.nodeRNG, rand.New(rand.NewSource(nodeSeed(s.cfg.Seed, id))))
+	s.vmu[id] = &sync.Mutex{}
+	trust := eng.Trust()
+	if s.cfg.DisableTrust {
+		trust = nil
+	}
+	v, err := core.NewValidator(core.ValidatorConfig{
+		Self:        id,
+		Gamma:       s.cfg.Gamma,
+		Params:      s.params,
+		Ring:        s.ring,
+		Topo:        s.graph,
+		Trust:       trust,
+		Strategy:    s.cfg.Strategy,
+		RNG:         s.nodeRNG[i],
+		StepBudget:  s.cfg.StepBudget,
+		VerifyCache: eng.VerifyCache(),
+	})
+	if err != nil {
+		return fmt.Errorf("sim: joiner validator: %w", err)
+	}
+	s.validators[id] = v
+	return nil
+}
+
+// Silenced reports whether id is known to the simulation but no
+// longer live (its engine was removed by Silence).
+func (s *Sim) Silenced(id identity.NodeID) bool {
+	_, known := s.idx[id]
+	_, live := s.engines[id]
+	return known && !live
+}
+
+// Silence takes a node offline: its engine and validator leave the
+// network, so PoP requests to it time out (the silent-attack shape)
+// and subsequent audits must route around it. The node stays in the
+// topology, exactly like a crashed radio.
+func (s *Sim) Silence(id identity.NodeID) error {
+	if _, live := s.engines[id]; !live {
+		return fmt.Errorf("sim: unknown or already silenced node %v", id)
+	}
+	delete(s.engines, id)
+	delete(s.validators, id)
+	return nil
+}
+
 // Verify runs a one-off PoP verification from the given validator with
 // a fresh, cache-less validator instance (used by the consensus-probe
 // experiment so probes stay independent).
@@ -556,7 +762,7 @@ func (s *Sim) Verify(validator identity.NodeID, target block.Ref) (*core.Result,
 	v, err := core.NewValidator(core.ValidatorConfig{
 		Self:       validator,
 		Gamma:      s.cfg.Gamma,
-		Params:     block.Params{Version: block.CurrentVersion, Difficulty: s.cfg.Difficulty, LeafSize: 1024},
+		Params:     s.params,
 		Ring:       s.ring,
 		Topo:       s.graph,
 		Strategy:   s.cfg.Strategy,
@@ -607,6 +813,7 @@ func (f *simFetcher) behavior(j identity.NodeID) attack.Behavior {
 // RequestChild implements core.Fetcher with Algorithm 4 semantics.
 func (f *simFetcher) RequestChild(_ context.Context, j identity.NodeID, target digest.Digest) (*block.Header, error) {
 	s := f.sim
+	s.obs.OnAuditHop(events.AuditHop{Validator: f.validator, Responder: j, Target: target})
 	// Validator transmits REQ_CHILD (a digest-sized request).
 	s.comm[s.idx[f.validator]].add(metrics.Consensus, int64(s.model.DigestBits()))
 

@@ -160,7 +160,13 @@ func (e *Endpoint) Send(ctx context.Context, to identity.NodeID, msg *wire.Messa
 	if drop != nil && drop(e.id, to, msg) {
 		return nil // silently lost, like a radio frame
 	}
-	cp, err := wire.Decode(msg.Encode())
+	// Deep-copy through the codec using a pooled encode buffer: Decode
+	// copies the payload out, so the scratch frame never escapes.
+	buf := getFrame()
+	b := msg.AppendEncode(*buf)
+	cp, err := wire.Decode(b)
+	*buf = b
+	putFrame(buf)
 	if err != nil {
 		return fmt.Errorf("transport: message not encodable: %w", err)
 	}

@@ -122,6 +122,8 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		n.mu.Unlock()
 	}()
 	var lenBuf [4]byte
+	buf := getFrame()
+	defer putFrame(buf)
 	for {
 		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
 			return
@@ -130,10 +132,14 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		if size > maxFrame {
 			return // hostile peer; drop the connection
 		}
-		frame := make([]byte, size)
+		if cap(*buf) < int(size) {
+			*buf = make([]byte, size)
+		}
+		frame := (*buf)[:size]
 		if _, err := io.ReadFull(conn, frame); err != nil {
 			return
 		}
+		// Decode copies the payload out, so frame is reusable next loop.
 		msg, err := wire.Decode(frame)
 		if err != nil {
 			continue // skip malformed frames, keep the connection
@@ -167,16 +173,17 @@ func (n *TCPNode) Send(ctx context.Context, to identity.NodeID, msg *wire.Messag
 	if err != nil {
 		return err
 	}
-	frame := msg.Encode()
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(frame)))
+	// Assemble length prefix and frame in one pooled buffer: a single
+	// Write per message (half the syscalls) and no per-message encode
+	// allocation.
+	buf := getFrame()
+	defer putFrame(buf)
+	b := binary.LittleEndian.AppendUint32(*buf, uint32(msg.WireSize()))
+	b = msg.AppendEncode(b)
+	*buf = b
 	lc.mu.Lock()
 	defer lc.mu.Unlock()
-	if _, err := lc.c.Write(lenBuf[:]); err != nil {
-		n.dropConn(to)
-		return fmt.Errorf("transport: writing to %v: %w", to, err)
-	}
-	if _, err := lc.c.Write(frame); err != nil {
+	if _, err := lc.c.Write(b); err != nil {
 		n.dropConn(to)
 		return fmt.Errorf("transport: writing to %v: %w", to, err)
 	}

@@ -152,9 +152,15 @@ func (m *Message) DecodeBlockPayload() (*block.Block, error) {
 	return block.Decode(m.Payload)
 }
 
-// Encode serializes the message.
+// Encode serializes the message into a fresh buffer.
 func (m *Message) Encode() []byte {
-	buf := make([]byte, 0, m.WireSize())
+	return m.AppendEncode(make([]byte, 0, m.WireSize()))
+}
+
+// AppendEncode serializes the message onto buf and returns the
+// extended slice, letting transports reuse one encode buffer per
+// connection instead of allocating per message.
+func (m *Message) AppendEncode(buf []byte) []byte {
 	buf = append(buf, byte(m.Kind))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.From))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.To))

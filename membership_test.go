@@ -1,0 +1,196 @@
+package twoldag
+
+import (
+	"context"
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// Dynamic-membership coverage through the Runtime API (the paper's
+// Sec. VII extension): joining after churn, audits routing around
+// silenced devices, and ID allocation safety on hand-built graphs.
+
+// TestJoinAfterAnchorSilence silences the newest device — the one a
+// joiner would historically anchor to — and verifies Join re-anchors
+// at a live device so the joiner is not stranded behind a dead radio.
+func TestJoinAfterAnchorSilence(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"live", baseOptions(8, 1)},
+		{"sim", append(baseOptions(8, 1), WithSimulator())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newRuntime(t, tc.opts...)
+			refs := fillBatch(t, rt, 2)
+			ids := rt.Nodes()
+			anchor := ids[len(ids)-1]
+			if err := rt.Silence(anchor); err != nil {
+				t.Fatalf("silencing anchor: %v", err)
+			}
+			joiner, err := rt.Join()
+			if err != nil {
+				t.Fatalf("Join after anchor silence: %v", err)
+			}
+			topo := rt.Topology()
+			if !topo.Has(joiner) || topo.Degree(joiner) == 0 {
+				t.Fatal("joiner not wired into the radio graph")
+			}
+			// The joiner must reach at least one live device, not only
+			// the silenced anchor.
+			liveLink := false
+			for _, nb := range topo.Neighbors(joiner) {
+				if nb == anchor {
+					continue
+				}
+				if _, err := rt.Block(Ref{Node: nb, Seq: 0}); err == nil {
+					liveLink = true
+					break
+				}
+			}
+			if !liveLink {
+				t.Fatalf("joiner %v anchored only to silenced devices (neighbors %v)",
+					joiner, topo.Neighbors(joiner))
+			}
+			// And it participates: submits and audits old data.
+			ctx := context.Background()
+			rt.AdvanceSlot()
+			if _, err := rt.Submit(ctx, joiner, []byte("post-join")); err != nil {
+				t.Fatalf("joiner submit: %v", err)
+			}
+			res, err := rt.Audit(ctx, joiner, refs[0])
+			if err != nil {
+				t.Fatalf("joiner audit: %v", err)
+			}
+			if !res.Consensus {
+				t.Fatal("joiner failed to audit pre-join data")
+			}
+		})
+	}
+}
+
+// TestAuditsRouteAroundSilenced fans audits out after churn on both
+// drivers: consensus must hold and no silenced device may vouch.
+func TestAuditsRouteAroundSilenced(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"live", baseOptions(10, 2)},
+		{"sim", append(baseOptions(10, 2), WithSimulator())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newRuntime(t, append(tc.opts, WithWorkers(4))...)
+			refs := fillBatch(t, rt, 3)
+			ids := rt.Nodes()
+			validator := ids[len(ids)-1]
+			target := refs[0]
+			var victim NodeID
+			for _, id := range ids {
+				if id != target.Node && id != validator {
+					victim = id
+					break
+				}
+			}
+			if err := rt.Silence(victim); err != nil {
+				t.Fatal(err)
+			}
+			if err := rt.Silence(victim); err == nil {
+				t.Fatal("double silence accepted")
+			}
+			// Audit first-slot blocks of devices that are still online
+			// (a silenced origin cannot serve its own block at all).
+			var reqs []AuditRequest
+			for _, ref := range refs[:len(refs)/3] {
+				if ref.Node == victim || ref.Node == validator {
+					continue
+				}
+				reqs = append(reqs, AuditRequest{Validator: validator, Ref: ref})
+				if len(reqs) == 4 {
+					break
+				}
+			}
+			for _, out := range rt.AuditMany(context.Background(), reqs) {
+				if out.Err != nil {
+					t.Fatalf("audit %v after silencing %v: %v", out.Request.Ref, victim, out.Err)
+				}
+				if !out.Result.Consensus {
+					t.Fatalf("no consensus on %v after one node silenced", out.Request.Ref)
+				}
+				for _, v := range out.Result.Vouchers {
+					if v == victim {
+						t.Fatalf("silenced node %v vouched for %v", victim, out.Request.Ref)
+					}
+				}
+			}
+		})
+	}
+}
+
+// manualGraph links devices with arbitrary, non-contiguous IDs by
+// hand, the shape Join's ID allocation must stay collision-free on.
+func manualGraph(t *testing.T, ids ...NodeID) *topology.Graph {
+	t.Helper()
+	g := topology.New(0) // no radio range: all links are manual
+	for i, id := range ids {
+		if err := g.AddNode(id, topology.Point{X: float64(i), Y: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		if err := g.Link(ids[i-1], ids[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Link(ids[0], ids[i]); err != nil && i > 1 {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+// TestJoinIDCollisionSafetyOnManualGraph pins Join's allocation rule
+// on hand-linked graphs: new IDs never collide with existing graph
+// nodes (contiguous or not), never resurrect silenced IDs, and each
+// joiner registers exactly once in the key ring.
+func TestJoinIDCollisionSafetyOnManualGraph(t *testing.T) {
+	g := manualGraph(t, 0, 5, 9)
+	rt := newRuntime(t, WithTopology(g), WithGamma(1), WithSeed(3), WithDifficulty(2))
+
+	seen := map[NodeID]bool{0: true, 5: true, 9: true}
+	var joiners []NodeID
+	for k := 0; k < 3; k++ {
+		id, err := rt.Join()
+		if err != nil {
+			t.Fatalf("join %d: %v", k, err)
+		}
+		if seen[id] {
+			t.Fatalf("join %d: ID %v collides", k, id)
+		}
+		seen[id] = true
+		joiners = append(joiners, id)
+		if !rt.Topology().Has(id) || rt.Topology().Degree(id) == 0 {
+			t.Fatalf("joiner %v not linked", id)
+		}
+	}
+	// Silencing a joiner must not free its ID for reuse.
+	if err := rt.Silence(joiners[len(joiners)-1]); err != nil {
+		t.Fatal(err)
+	}
+	id, err := rt.Join()
+	if err != nil {
+		t.Fatalf("join after silence: %v", err)
+	}
+	if seen[id] {
+		t.Fatalf("silenced ID %v resurrected", id)
+	}
+	// The surviving joiners work: submissions announce and land.
+	ctx := context.Background()
+	rt.AdvanceSlot()
+	for _, j := range append(joiners[:len(joiners)-1], id) {
+		if _, err := rt.Submit(ctx, j, []byte("manual graph")); err != nil {
+			t.Fatalf("joiner %v submit: %v", j, err)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package twoldag
+
+import (
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/events"
+)
+
+// Typed observer API. Both Runtime drivers emit the same structured
+// event stream at the same protocol moments, so instrumentation is
+// written once and works against a live cluster and the deterministic
+// simulator alike. Attach observers with WithObserver; embed
+// NopObserver to handle only the event kinds you care about.
+//
+// Observers are invoked from transport and worker-pool goroutines:
+// implementations must be safe for concurrent use and cheap (count,
+// sample or enqueue — never block or do I/O inline).
+type (
+	// Digest is a 2LDAG content hash (header identity, Δ entries).
+	Digest = digest.Digest
+
+	// Observer receives the runtime's typed event stream.
+	Observer = events.Observer
+	// NopObserver ignores every event; embed it to implement Observer
+	// partially.
+	NopObserver = events.Nop
+
+	// BlockSealed reports a node sealing its next data block.
+	BlockSealed = events.BlockSealed
+	// DigestAnnounced reports a neighbor ingesting a digest
+	// announcement into its A_i cache (receiver side — a delivery
+	// acknowledgement).
+	DigestAnnounced = events.DigestAnnounced
+	// AuditHop reports one REQ_CHILD probe of a PoP verification.
+	AuditHop = events.AuditHop
+	// ConsensusReached reports an audit that collected γ+1 vouchers.
+	ConsensusReached = events.ConsensusReached
+	// AuditFailed reports an audit that ended without consensus.
+	AuditFailed = events.AuditFailed
+)

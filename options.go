@@ -1,0 +1,279 @@
+package twoldag
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/pow"
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// Driver selects which Runtime implementation New builds.
+type Driver int
+
+const (
+	// DriverLive runs one node runtime per device exchanging real wire
+	// messages over the selected transport. This is the default.
+	DriverLive Driver = iota
+	// DriverSim runs the deterministic slot simulator: the same
+	// engines and PoP validators, but requests resolve in-process with
+	// the paper's analytic cost accounting and injectable attack
+	// behaviors. Same options, same Runtime verbs, reproducible runs.
+	DriverSim
+)
+
+// String names the driver.
+func (d Driver) String() string {
+	switch d {
+	case DriverLive:
+		return "live"
+	case DriverSim:
+		return "sim"
+	default:
+		return fmt.Sprintf("driver(%d)", int(d))
+	}
+}
+
+// TransportKind selects the live driver's message fabric.
+type TransportKind int
+
+const (
+	// InMemory is the zero-configuration in-process fabric (default).
+	InMemory TransportKind = iota
+	// TCP runs every node on its own loopback TCP listener with
+	// length-prefixed frames — the same code path a real distributed
+	// deployment uses.
+	TCP
+)
+
+// String names the transport kind.
+func (t TransportKind) String() string {
+	switch t {
+	case InMemory:
+		return "inmem"
+	case TCP:
+		return "tcp"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
+
+// Option configures New.
+type Option func(*config) error
+
+// config is the resolved runtime configuration.
+type config struct {
+	driver    Driver
+	nodes     int
+	gamma     int
+	seed      int64
+	topo      *topology.Graph
+	params    block.Params
+	rto       time.Duration
+	transport TransportKind
+	workers   int
+	observers []Observer
+	malicious int
+	bodyBytes int
+}
+
+func defaultConfig() *config {
+	return &config{
+		params:    block.DefaultParams(),
+		rto:       2 * time.Second,
+		bodyBytes: 100_000,
+	}
+}
+
+// WithNodes sets the device count; the radio topology is generated
+// from the seed at the paper's deployment density. Ignored when
+// WithTopology supplies an explicit graph.
+func WithNodes(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("twoldag: WithNodes(%d): node count must be positive", n)
+		}
+		c.nodes = n
+		return nil
+	}
+}
+
+// WithGamma sets the PoP consensus threshold γ: audits need γ+1
+// distinct vouchers (tolerating γ malicious nodes).
+func WithGamma(g int) Option {
+	return func(c *config) error {
+		if g < 0 {
+			return fmt.Errorf("twoldag: WithGamma(%d): gamma must be non-negative", g)
+		}
+		c.gamma = g
+		return nil
+	}
+}
+
+// WithSeed anchors every random choice — placement, identities, the
+// simulator's behavior assignment. Same seed, same deployment.
+func WithSeed(seed int64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithTopology supplies an explicit radio graph instead of generating
+// one (e.g. the paper's Fig. 4 fixture, or a hand-linked testbed).
+func WithTopology(g *Topology) Option {
+	return func(c *config) error {
+		if g == nil {
+			return errors.New("twoldag: WithTopology(nil)")
+		}
+		c.topo = g
+		return nil
+	}
+}
+
+// WithDifficulty sets the proof-of-work level ρ in bits (default: the
+// paper's 8 bits, on both drivers, so identical options build
+// identical blocks). Cost accounting never depends on ρ, so large
+// simulator sweeps may set 0 to skip mining entirely.
+func WithDifficulty(bits uint8) Option {
+	return func(c *config) error {
+		c.params.Difficulty = pow.Difficulty(bits)
+		return nil
+	}
+}
+
+// WithRequestTimeout sets the PoP request timeout τ and the fallback
+// deadline for announcement acknowledgements when the submit context
+// carries none (default 2s).
+func WithRequestTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("twoldag: WithRequestTimeout(%v): timeout must be positive", d)
+		}
+		c.rto = d
+		return nil
+	}
+}
+
+// WithTransport selects the live driver's fabric: InMemory (default)
+// or TCP. The simulator resolves requests in-process and rejects this
+// option.
+func WithTransport(k TransportKind) Option {
+	return func(c *config) error {
+		if k != InMemory && k != TCP {
+			return fmt.Errorf("twoldag: WithTransport(%v): unknown transport", k)
+		}
+		c.transport = k
+		return nil
+	}
+}
+
+// WithWorkers bounds the worker pool AuditMany fans audits out over
+// (0 = GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("twoldag: WithWorkers(%d): worker count must be non-negative", n)
+		}
+		c.workers = n
+		return nil
+	}
+}
+
+// WithObserver attaches a typed event observer; repeat the option to
+// attach several. Observers must be safe for concurrent use.
+func WithObserver(o Observer) Option {
+	return func(c *config) error {
+		if o == nil {
+			return errors.New("twoldag: WithObserver(nil)")
+		}
+		c.observers = append(c.observers, o)
+		return nil
+	}
+}
+
+// WithDriver selects the Runtime implementation (default DriverLive).
+func WithDriver(d Driver) Option {
+	return func(c *config) error {
+		if d != DriverLive && d != DriverSim {
+			return fmt.Errorf("twoldag: WithDriver(%v): unknown driver", d)
+		}
+		c.driver = d
+		return nil
+	}
+}
+
+// WithSimulator is shorthand for WithDriver(DriverSim).
+func WithSimulator() Option { return WithDriver(DriverSim) }
+
+// WithMalicious makes n nodes behave maliciously (silent to PoP
+// requests, the paper's headline attack). Simulator only: the live
+// driver expresses the same condition with Silence.
+func WithMalicious(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("twoldag: WithMalicious(%d): count must be non-negative", n)
+		}
+		c.malicious = n
+		return nil
+	}
+}
+
+// WithBodyBytes sets C, the simulator's accounted body size in bytes
+// (default 100 kB; the paper evaluates 0.1/0.5/1 MB). The live driver
+// stores real bodies and ignores the analytic size.
+func WithBodyBytes(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("twoldag: WithBodyBytes(%d): body size must be positive", n)
+		}
+		c.bodyBytes = n
+		return nil
+	}
+}
+
+// resolveTopology returns the configured graph or generates one from
+// (nodes, seed), scaling the paper's deployment density down so small
+// clusters stay multi-hop but connected.
+func (c *config) resolveTopology() (*topology.Graph, error) {
+	if c.topo != nil {
+		return c.topo, nil
+	}
+	if c.nodes <= 0 {
+		return nil, errors.New("twoldag: node count must be positive (use WithNodes or WithTopology)")
+	}
+	side := math.Max(200, 1000*float64(c.nodes)/50)
+	tc := topology.Config{
+		Nodes: c.nodes, Width: side, Height: side,
+		Range: math.Max(60, side/5), Seed: c.seed,
+	}
+	g, err := topology.Generate(tc)
+	if err != nil {
+		return nil, fmt.Errorf("twoldag: generating topology: %w", err)
+	}
+	return g, nil
+}
+
+// validate runs the cross-field checks once the topology is known.
+func (c *config) validate(g *topology.Graph) error {
+	if c.gamma < 0 || c.gamma >= g.Len() {
+		return fmt.Errorf("twoldag: gamma %d out of range for %d nodes", c.gamma, g.Len())
+	}
+	if c.driver == DriverLive {
+		if c.malicious > 0 {
+			return errors.New("twoldag: WithMalicious requires the simulator driver (use Silence on a live cluster)")
+		}
+	}
+	if c.driver == DriverSim {
+		if c.transport != InMemory {
+			return errors.New("twoldag: WithTransport applies to the live driver only")
+		}
+		if c.malicious >= g.Len() {
+			return fmt.Errorf("twoldag: %d malicious nodes out of range for %d nodes", c.malicious, g.Len())
+		}
+	}
+	return nil
+}

@@ -3,42 +3,66 @@
 // consensus protocol for IoT data reliability (Yang et al., ICDCS
 // 2023).
 //
-// The package offers a batteries-included Cluster running one node
-// runtime per IoT device over an in-memory transport. Each node stores
-// only its own data blocks plus neighbor header digests (the 2LDAG
-// storage model); audits run the full PoP protocol — on demand,
-// reactively — collecting γ+1 distinct vouchers before declaring a
-// block trustworthy.
+// # Runtime drivers
 //
-//	cluster, err := twoldag.NewCluster(twoldag.ClusterConfig{Nodes: 20, Gamma: 4})
-//	...
-//	cluster.AdvanceSlot()
-//	ref, err := cluster.Submit(ctx, sensorID, reading)
-//	...
-//	res, err := cluster.Audit(ctx, operatorID, ref)
-//	if res.Consensus { /* γ+1 nodes vouch for the reading */ }
+// New builds a Runtime from functional options. Two drivers implement
+// the same interface:
 //
-// Lower layers (deterministic slot simulator, TCP transport, attack
-// library, baselines) live under internal/ and power cmd/experiments,
-// which regenerates every figure of the paper.
+//   - The live cluster (default): one node runtime per IoT device
+//     exchanging real wire messages — over the in-process fabric or,
+//     with WithTransport(TCP), over loopback TCP listeners.
+//   - The deterministic simulator (WithSimulator): the same engines
+//     and validators resolving requests in-process, with the paper's
+//     analytic cost accounting and injectable attack behaviors
+//     (WithMalicious). Identical options reproduce identical runs.
+//
+// A typical deployment:
+//
+//	rt, err := twoldag.New(
+//	    twoldag.WithNodes(50),
+//	    twoldag.WithGamma(4),
+//	    twoldag.WithSeed(1),
+//	    twoldag.WithTransport(twoldag.TCP),
+//	    twoldag.WithWorkers(8),
+//	)
+//	...
+//	rt.AdvanceSlot()
+//	refs, err := rt.SubmitBatch(ctx, batch)  // one flush per slot
+//	...
+//	outs := rt.AuditMany(ctx, reqs)          // bounded worker pool
+//	if outs[0].Result.Consensus { /* γ+1 nodes vouch */ }
+//
+// Each node stores only its own data blocks plus neighbor header
+// digests (the 2LDAG storage model); audits run the full PoP protocol
+// — on demand, reactively — collecting γ+1 distinct vouchers before
+// declaring a block trustworthy.
+//
+// # Observing a deployment
+//
+// WithObserver attaches a typed event observer streaming BlockSealed,
+// DigestAnnounced, AuditHop, ConsensusReached and AuditFailed —
+// identically on both drivers. The experiments harness (package
+// experiments, regenerating every figure of the paper) and the
+// bundled commands consume the same stream.
+//
+// # Migrating from NewCluster
+//
+// The flat ClusterConfig constructor survives as a deprecated shim:
+//
+//	NewCluster(ClusterConfig{Nodes: 50, Gamma: 4, Seed: 1})
+//	    ≡ New(WithNodes(50), WithGamma(4), WithSeed(1))
+//
+// with field-for-option equivalents Topology → WithTopology,
+// Difficulty → WithDifficulty, RequestTimeout → WithRequestTimeout.
 package twoldag
 
 import (
-	"context"
-	"errors"
-	"fmt"
-	"math"
-	"sync/atomic"
 	"time"
 
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/core"
-	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/identity"
-	"github.com/twoldag/twoldag/internal/node"
-	"github.com/twoldag/twoldag/internal/pow"
 	"github.com/twoldag/twoldag/internal/topology"
-	"github.com/twoldag/twoldag/internal/transport"
 )
 
 // Re-exported core types.
@@ -53,6 +77,10 @@ type (
 	AuditResult = core.Result
 	// Topology is the physical radio graph.
 	Topology = topology.Graph
+	// SampleProof binds one sensor sample (body chunk) to a block's
+	// Merkle root, so it can be checked against an audited header
+	// without re-fetching the body.
+	SampleProof = block.SampleProof
 )
 
 // Sentinel errors re-exported for errors.Is checks.
@@ -64,6 +92,9 @@ var (
 )
 
 // ClusterConfig sizes a live in-process deployment.
+//
+// Deprecated: use New with functional options; see the package
+// overview for the field-for-option mapping.
 type ClusterConfig struct {
 	// Nodes is the device count (ignored when Topology is set).
 	Nodes int
@@ -79,278 +110,28 @@ type ClusterConfig struct {
 	RequestTimeout time.Duration
 }
 
-// Cluster is a running 2LDAG network.
-type Cluster struct {
-	topo   *topology.Graph
-	ring   *identity.Ring
-	net    *transport.Network
-	nodes  map[NodeID]*node.Node
-	ids    []NodeID
-	slot   atomic.Uint32
-	params block.Params
-	seed   int64
-	gamma  int
-	rto    time.Duration
-}
-
-// NewCluster builds and starts a cluster: topology, keys, transports
-// and one node runtime per device.
+// NewCluster builds and starts a live cluster: topology, keys,
+// transports and one node runtime per device.
+//
+// Deprecated: use New, which also offers the TCP transport, the
+// deterministic simulator, batch submission and audit fan-out, and
+// typed observers.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
-	g := cfg.Topology
-	if g == nil {
-		if cfg.Nodes <= 0 {
-			return nil, errors.New("twoldag: ClusterConfig.Nodes must be positive")
-		}
-		// Scale the paper's deployment density down to the requested
-		// size so small clusters stay multi-hop but connected.
-		side := math.Max(200, 1000*float64(cfg.Nodes)/50)
-		tc := topology.Config{
-			Nodes: cfg.Nodes, Width: side, Height: side,
-			Range: math.Max(60, side/5), Seed: cfg.Seed,
-		}
-		var err error
-		g, err = topology.Generate(tc)
-		if err != nil {
-			return nil, fmt.Errorf("twoldag: generating topology: %w", err)
-		}
+	opts := []Option{WithGamma(cfg.Gamma), WithSeed(cfg.Seed)}
+	if cfg.Topology != nil {
+		opts = append(opts, WithTopology(cfg.Topology))
+	} else if cfg.Nodes > 0 {
+		opts = append(opts, WithNodes(cfg.Nodes))
 	}
-	if cfg.Gamma < 0 || cfg.Gamma >= g.Len() {
-		return nil, fmt.Errorf("twoldag: gamma %d out of range for %d nodes", cfg.Gamma, g.Len())
-	}
-	params := block.DefaultParams()
 	if cfg.Difficulty > 0 {
-		params.Difficulty = pow.Difficulty(cfg.Difficulty)
+		opts = append(opts, WithDifficulty(cfg.Difficulty))
 	}
-
-	c := &Cluster{
-		topo:   g,
-		net:    transport.NewNetwork(),
-		nodes:  make(map[NodeID]*node.Node, g.Len()),
-		ids:    g.Nodes(),
-		params: params,
-		seed:   cfg.Seed,
-		gamma:  cfg.Gamma,
-		rto:    cfg.RequestTimeout,
+	if cfg.RequestTimeout > 0 {
+		opts = append(opts, WithRequestTimeout(cfg.RequestTimeout))
 	}
-	var pairs []identity.KeyPair
-	for _, id := range c.ids {
-		pairs = append(pairs, identity.Deterministic(id, cfg.Seed))
-	}
-	ring, err := identity.RingFor(pairs)
-	if err != nil {
-		return nil, fmt.Errorf("twoldag: %w", err)
-	}
-	c.ring = ring
-	for _, kp := range pairs {
-		ep, err := c.net.Endpoint(kp.ID)
-		if err != nil {
-			return nil, fmt.Errorf("twoldag: %w", err)
-		}
-		n, err := node.New(node.Config{
-			Key:            kp,
-			Params:         params,
-			Topo:           g,
-			Ring:           ring,
-			Transport:      ep,
-			Gamma:          cfg.Gamma,
-			RequestTimeout: cfg.RequestTimeout,
-		})
-		if err != nil {
-			_ = c.Close()
-			return nil, fmt.Errorf("twoldag: starting node %v: %w", kp.ID, err)
-		}
-		slot := &c.slot
-		n.SetClock(func() uint32 { return slot.Load() })
-		c.nodes[kp.ID] = n
-	}
-	return c, nil
-}
-
-// Nodes returns the device IDs in ascending order.
-func (c *Cluster) Nodes() []NodeID {
-	return append([]NodeID(nil), c.ids...)
-}
-
-// Topology returns the physical radio graph.
-func (c *Cluster) Topology() *Topology { return c.topo }
-
-// AdvanceSlot increments the cluster's logical time; blocks submitted
-// afterwards carry the new slot in their Time field.
-func (c *Cluster) AdvanceSlot() { c.slot.Add(1) }
-
-// Slot returns the current logical time.
-func (c *Cluster) Slot() uint32 { return c.slot.Load() }
-
-// Submit makes device id seal data into its next block, announce the
-// header digest to its radio neighbors, and waits until every neighbor
-// has cached it.
-func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, error) {
-	n, ok := c.nodes[id]
-	if !ok {
-		return Ref{}, fmt.Errorf("twoldag: unknown node %v", id)
-	}
-	b, err := n.Generate(ctx, data)
-	if err != nil {
-		return Ref{}, err
-	}
-	if err := c.waitForDigest(ctx, id, b.Header.Hash()); err != nil {
-		return b.Header.Ref(), err
-	}
-	return b.Header.Ref(), nil
-}
-
-// waitForDigest polls neighbor caches until the announcement landed
-// (the in-memory fabric is fast; this bounds test flakiness).
-func (c *Cluster) waitForDigest(ctx context.Context, id NodeID, d digest.Digest) error {
-	deadline := time.Now().Add(2 * time.Second)
-	for _, nb := range c.topo.Neighbors(id) {
-		n, ok := c.nodes[nb]
-		if !ok {
-			continue // departed node
-		}
-		for {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			got, ok := n.Engine().Cache().Get(id)
-			if ok && got == d {
-				break
-			}
-			if time.Now().After(deadline) {
-				return fmt.Errorf("twoldag: digest %s from %v never reached %v", d, id, nb)
-			}
-			time.Sleep(200 * time.Microsecond)
-		}
-	}
-	return nil
-}
-
-// Audit runs Proof-of-Path from the given validator against ref. The
-// result reports whether γ+1 distinct nodes vouch for the block,
-// the verification path and the message costs.
-func (c *Cluster) Audit(ctx context.Context, validator NodeID, ref Ref) (*AuditResult, error) {
-	n, ok := c.nodes[validator]
-	if !ok {
-		return nil, fmt.Errorf("twoldag: unknown validator %v", validator)
-	}
-	return n.Audit(ctx, ref)
-}
-
-// Block fetches a block from its origin's local store (for display).
-// The returned block is shared, sealed store state — treat it as
-// read-only and Clone it before mutating.
-func (c *Cluster) Block(ref Ref) (*Block, error) {
-	n, ok := c.nodes[ref.Node]
-	if !ok {
-		return nil, fmt.Errorf("twoldag: unknown node %v", ref.Node)
-	}
-	return n.Engine().Store().Get(ref.Seq)
-}
-
-// SampleProof binds one sensor sample (body chunk) to a block's Merkle
-// root, so it can be checked against an audited header without
-// re-fetching the body.
-type SampleProof = block.SampleProof
-
-// ProveSample builds an inclusion proof for the i-th body chunk of the
-// given block.
-func (c *Cluster) ProveSample(ref Ref, leafIndex int) (*SampleProof, error) {
-	b, err := c.Block(ref)
+	rt, err := New(opts...)
 	if err != nil {
 		return nil, err
 	}
-	return c.params.ProveSample(b, leafIndex)
-}
-
-// VerifySample checks a sample proof against the header established by
-// a successful audit of the same block.
-func (c *Cluster) VerifySample(res *AuditResult, sp *SampleProof) error {
-	if !res.Consensus || len(res.Path) == 0 {
-		return fmt.Errorf("twoldag: audit of %v did not reach consensus", res.Target)
-	}
-	return c.params.VerifySample(res.Path[0].Header, sp)
-}
-
-// Join adds a new device to the running cluster (the paper's Sec. VII
-// dynamic-membership extension): it is placed within radio range of an
-// existing device, registered in the key ring, and starts serving
-// immediately. Returns the new device's ID.
-func (c *Cluster) Join() (NodeID, error) {
-	if len(c.ids) == 0 {
-		return 0, errors.New("twoldag: cannot join an empty cluster")
-	}
-	id := c.ids[len(c.ids)-1] + 1
-	for c.topo.Has(id) {
-		id++
-	}
-	anchor := c.ids[len(c.ids)-1]
-	ap, _ := c.topo.Position(anchor)
-	r := c.topo.CommRange()
-	if r <= 0 {
-		r = 2 // manually linked graphs: link to the anchor below
-	}
-	if err := c.topo.AddNode(id, topology.Point{X: ap.X + r/2, Y: ap.Y}); err != nil {
-		return 0, fmt.Errorf("twoldag: joining: %w", err)
-	}
-	if c.topo.Degree(id) == 0 {
-		if err := c.topo.Link(anchor, id); err != nil {
-			return 0, fmt.Errorf("twoldag: linking joiner: %w", err)
-		}
-	}
-	kp := identity.Deterministic(id, c.seed)
-	if err := c.ring.Register(kp.ID, kp.Public); err != nil {
-		return 0, fmt.Errorf("twoldag: registering joiner: %w", err)
-	}
-	ep, err := c.net.Endpoint(id)
-	if err != nil {
-		return 0, fmt.Errorf("twoldag: joiner endpoint: %w", err)
-	}
-	n, err := node.New(node.Config{
-		Key:            kp,
-		Params:         c.params,
-		Topo:           c.topo,
-		Ring:           c.ring,
-		Transport:      ep,
-		Gamma:          c.gamma,
-		RequestTimeout: c.rto,
-	})
-	if err != nil {
-		return 0, fmt.Errorf("twoldag: starting joiner: %w", err)
-	}
-	slot := &c.slot
-	n.SetClock(func() uint32 { return slot.Load() })
-	c.nodes[id] = n
-	c.ids = append(c.ids, id)
-	return id, nil
-}
-
-// Silence takes a device offline (its transport closes); subsequent
-// audits must route around it, as in the paper's malicious-node
-// experiments.
-func (c *Cluster) Silence(id NodeID) error {
-	n, ok := c.nodes[id]
-	if !ok {
-		return fmt.Errorf("twoldag: unknown node %v", id)
-	}
-	delete(c.nodes, id)
-	err := n.Close()
-	if rerr := c.net.Remove(id); rerr != nil && err == nil {
-		err = rerr
-	}
-	return err
-}
-
-// Close stops every node and the network fabric.
-func (c *Cluster) Close() error {
-	var first error
-	for id, n := range c.nodes {
-		if err := n.Close(); err != nil && first == nil {
-			first = err
-		}
-		delete(c.nodes, id)
-	}
-	if err := c.net.Close(); err != nil && first == nil {
-		first = err
-	}
-	return first
+	return rt.(*Cluster), nil
 }
