@@ -127,14 +127,30 @@ func (t *ackTracker) expect(d Digest, neighbors []NodeID) *ackWaiter {
 // OnDigestAnnounced implements Observer: one neighbor cached d.
 func (t *ackTracker) OnDigestAnnounced(e DigestAnnounced) {
 	t.mu.Lock()
-	if w, ok := t.waiters[e.Digest]; ok {
-		delete(w.pending, e.To)
-		if len(w.pending) == 0 {
-			close(w.done)
-			delete(t.waiters, e.Digest)
-		}
+	t.resolve(e.Digest, e.To)
+	t.mu.Unlock()
+}
+
+// OnDigestBatchDelivered implements Observer: one neighbor ingested a
+// whole coalesced flush, acknowledging every digest it carried at
+// once.
+func (t *ackTracker) OnDigestBatchDelivered(e DigestBatchDelivered) {
+	t.mu.Lock()
+	for _, d := range e.Digests {
+		t.resolve(d, e.To)
 	}
 	t.mu.Unlock()
+}
+
+// resolve marks d acknowledged by neighbor to. Callers hold t.mu.
+func (t *ackTracker) resolve(d Digest, to NodeID) {
+	if w, ok := t.waiters[d]; ok {
+		delete(w.pending, to)
+		if len(w.pending) == 0 {
+			close(w.done)
+			delete(t.waiters, d)
+		}
+	}
 }
 
 // cancel abandons a waiter and reports which neighbors never
@@ -227,7 +243,11 @@ func (c *Cluster) startNode(kp identity.KeyPair) error {
 		Transport:      ep,
 		Gamma:          c.gamma,
 		RequestTimeout: c.rto,
-		Observer:       events.Multi(c.tracker, c.obs),
+		// User observers run before the tracker: the tracker's ack is
+		// what unblocks a waiting Submit/SubmitBatch, so ordering it
+		// last guarantees every user observer has already seen a
+		// delivery by the time the submitter returns.
+		Observer: events.Multi(c.obs, c.tracker),
 	})
 	if err != nil {
 		return fmt.Errorf("twoldag: starting node %v: %w", kp.ID, err)
@@ -309,8 +329,11 @@ func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, erro
 }
 
 // SubmitBatch implements Runtime: all blocks are sealed first, then
-// every announcement goes out in one flush and the acknowledgements
-// are awaited together, amortizing the wait over the whole slot.
+// the announcements flush receiver-centrically — every sender
+// coalesces its digests into one DigestBatch frame per neighbor, so
+// the fabric carries one frame per (sender, receiver) pair per batch
+// instead of one per sealed block — and the acknowledgements are
+// awaited together, amortizing the wait over the whole slot.
 func (c *Cluster) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, error) {
 	type flush struct {
 		n *node.Node
@@ -337,10 +360,22 @@ func (c *Cluster) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, e
 		refs = append(refs, b.Header.Ref())
 		flushes = append(flushes, flush{n: n, d: d, w: c.tracker.expect(d, c.liveNeighbors(sub.Node))})
 	}
+	// Coalesce outbound announcements per sender, preserving seal
+	// order within each sender's run so the receiver's A_i ends on the
+	// newest digest.
+	bySender := make(map[NodeID][]Digest, len(flushes))
+	senders := make([]*node.Node, 0, len(flushes))
+	for _, f := range flushes {
+		id := f.n.ID()
+		if _, seen := bySender[id]; !seen {
+			senders = append(senders, f.n)
+		}
+		bySender[id] = append(bySender[id], f.d)
+	}
 	actx, cancel := c.ackCtx(ctx)
 	defer cancel()
-	for _, f := range flushes {
-		f.n.Announce(actx, f.d)
+	for _, n := range senders {
+		n.AnnounceBatch(actx, bySender[n.ID()])
 	}
 	for _, f := range flushes {
 		if err := c.awaitAck(actx, f.n.ID(), f.d, f.w); err != nil {

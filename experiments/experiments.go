@@ -1,18 +1,25 @@
 // Package experiments regenerates every figure of the paper's
 // evaluation (Sec. VI). Each function runs the relevant simulations —
-// 2LDAG (the deterministic simulator behind twoldag.WithSimulator)
-// against the PBFT and IOTA baselines — and returns labeled series
-// matching the paper's axes. Audit activity is aggregated from the
-// runtime's typed event stream (metrics.EventCounters over
-// internal/events) rather than bespoke counters. cmd/experiments
-// renders the results as tables/CSV; the root bench_test.go wraps
-// them as benchmarks.
+// 2LDAG against the PBFT and IOTA baselines — and returns labeled
+// series matching the paper's axes. Standard figure flows ride the
+// public Runtime API: the 2LDAG runs build a deterministic simulator
+// with twoldag.New(WithSimulator(), ...), drive the slotted schedule
+// with SimDriver.RunSlots and read SimDriver.Report. Only the
+// figure-only knobs the facade deliberately does not expose —
+// RandomPeriodMax and the consensus probes (Fig. 9),
+// RetainVerifiedBlocks (Fig. 7's storage calibration), and the
+// ablation switches (Strategy, DisableTrust) — still reach into
+// internal/sim. Audit activity is aggregated from the runtime's typed
+// event stream (metrics.EventCounters over internal/events) rather
+// than bespoke counters. cmd/experiments renders the results as
+// tables/CSV; the root bench_test.go wraps them as benchmarks.
 package experiments
 
 import (
 	"fmt"
 	"io"
 
+	"github.com/twoldag/twoldag"
 	"github.com/twoldag/twoldag/internal/attack"
 	"github.com/twoldag/twoldag/internal/baseline/iota"
 	"github.com/twoldag/twoldag/internal/baseline/pbft"
@@ -21,6 +28,33 @@ import (
 	"github.com/twoldag/twoldag/internal/sim"
 	"github.com/twoldag/twoldag/internal/topology"
 )
+
+// runPublic builds the deterministic simulator through the public
+// Runtime facade, drives the paper's slotted schedule for slots
+// slots, and returns the finalized report — the figure-regeneration
+// path for every flow that needs no internal-only knob. Extra options
+// (observers, gamma) stack on top of the scale's topology and seed.
+func runPublic(graph *topology.Graph, seed int64, slots, bodyBytes int, opts ...twoldag.Option) (*twoldag.SimReport, error) {
+	base := []twoldag.Option{
+		twoldag.WithSimulator(),
+		twoldag.WithTopology(graph),
+		twoldag.WithSeed(seed),
+		twoldag.WithBodyBytes(bodyBytes),
+		// The figures never mine (cost accounting is independent of ρ);
+		// the facade's default difficulty would only slow the sweep.
+		twoldag.WithDifficulty(0),
+	}
+	rt, err := twoldag.New(append(base, opts...)...)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	sd := rt.(*twoldag.SimDriver)
+	if err := sd.RunSlots(slots); err != nil {
+		return nil, err
+	}
+	return sd.Report(), nil
+}
 
 // Scale sizes an experiment run.
 type Scale struct {
@@ -137,6 +171,9 @@ func Fig7(scale Scale) ([]*FigResult, error) {
 		}
 		// Audit totals ride the typed event stream: the same observer
 		// machinery a live cluster exposes via twoldag.WithObserver.
+		// This flow needs RetainVerifiedBlocks (the Fig. 7 storage
+		// calibration), a figure-only knob the public facade does not
+		// expose, so it stays on the internal config.
 		counters := &metrics.EventCounters{}
 		s2, err := sim.New(sim.Config{
 			Graph:                graph,
@@ -215,17 +252,9 @@ func Fig8(scale Scale) ([]*FigResult, error) {
 	total.Series = append(total.Series, pr.CommSeries("PBFT"), ir.CommSeries("IOTA"))
 
 	for _, v := range variants {
-		s2, err := sim.New(sim.Config{
-			Graph:     graph,
-			Seed:      scale.Seed,
-			Slots:     scale.Slots,
-			BodyBytes: bodyBytes,
-			Gamma:     v.gamma,
-		})
-		if err != nil {
-			return nil, err
-		}
-		r2, err := s2.Run()
+		// The standard comm sweep needs no figure-only knob, so it
+		// rides the public Runtime API end to end.
+		r2, err := runPublic(graph, scale.Seed, scale.Slots, bodyBytes, twoldag.WithGamma(v.gamma))
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +346,9 @@ func Fig9(scale Scale) ([]*FigResult, error) {
 
 // Ablations regenerates the design-choice studies DESIGN.md calls out:
 // WPS vs random vs shortest-path-first selection (ABL-WPS), and H_i
-// caching on/off (ABL-TPS).
+// caching on/off (ABL-TPS). Both switches (Strategy, DisableTrust)
+// are figure-only knobs the public facade does not expose, so the
+// ablation runs stay on the internal config.
 func Ablations(scale Scale) ([]*FigResult, error) {
 	const bodyBytes = 100_000
 	graph, err := topology.Generate(scale.topoConfig())

@@ -1,8 +1,13 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"github.com/twoldag/twoldag"
+	"github.com/twoldag/twoldag/internal/sim"
+	"github.com/twoldag/twoldag/internal/topology"
 )
 
 // tinyScale keeps the smoke tests fast while exercising every code
@@ -125,6 +130,38 @@ func TestAblationsOrdering(t *testing.T) {
 	off, _ := tps.Series[1].Last()
 	if off <= on {
 		t.Fatalf("disabling H_i must cost more traffic: on=%.3f off=%.3f", on, off)
+	}
+}
+
+// TestPublicRuntimeMatchesInternalSim pins the figure-rebase
+// contract: driving the slotted schedule through the public Runtime
+// facade (twoldag.New + SimDriver.RunSlots + Report) yields a report
+// byte-identical to the internal sim.New path the figures used
+// before, so no figure moved in the migration.
+func TestPublicRuntimeMatchesInternalSim(t *testing.T) {
+	scale := tinyScale()
+	graph, err := topology.Generate(scale.topoConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gamma := scale.gammaFor(0.33)
+	s2, err := sim.New(sim.Config{
+		Graph: graph, Seed: scale.Seed, Slots: scale.Slots,
+		BodyBytes: 500_000, Gamma: gamma,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal, err := s2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	public, err := runPublic(graph, scale.Seed, scale.Slots, 500_000, twoldag.WithGamma(gamma))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(internal, public) {
+		t.Fatalf("public Runtime path diverged from internal sim:\ninternal: %+v\npublic:   %+v", internal, public)
 	}
 }
 

@@ -1,0 +1,31 @@
+package iota
+
+import (
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// BenchmarkBaselineIOTA tracks the IOTA baseline at the paper's full
+// scale (50 nodes, 200 slots). It runs inside every Fig. 7/8
+// comparison loop, so it shares the hot-path benchmark guard with the
+// main-path benches (see BENCH_hotpath.json).
+func BenchmarkBaselineIOTA(b *testing.B) {
+	cfg := topology.DefaultConfig(1)
+	cfg.Nodes = 50
+	g, err := topology.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Config{Graph: g, Slots: 200, BodyBytes: 500_000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Transactions != 50*200+1 {
+			b.Fatal("wrong tangle size")
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package pbft
+
+import "testing"
+
+// BenchmarkBaselinePBFT tracks the PBFT baseline at the paper's full
+// scale (50 nodes, 200 slots). It runs inside every Fig. 7/8
+// comparison loop, so it shares the hot-path benchmark guard with the
+// main-path benches (see BENCH_hotpath.json).
+func BenchmarkBaselinePBFT(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Config{Nodes: 50, Slots: 200, BodyBytes: 500_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Blocks != 200 {
+			b.Fatal("wrong chain length")
+		}
+	}
+}

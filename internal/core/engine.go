@@ -70,12 +70,57 @@ func (e *Engine) VerifyCache() *block.VerifyCache { return e.vcache }
 
 // OnDigest ingests a digest announcement from a neighbor, replacing
 // that neighbor's entry in A_i (Sec. III-D). Announcements from
-// non-neighbors are rejected.
+// non-neighbors are rejected. It is the singleton shim over
+// OnDigestBatch; transports and schedulers that collect a whole slot's
+// announcements deliver them in one OnDigestBatch call instead.
 func (e *Engine) OnDigest(from identity.NodeID, d digest.Digest) error {
 	if !e.topo.IsNeighbor(e.key.ID, from) {
 		return fmt.Errorf("%w: %v -> %v", ErrNotNeighbor, from, e.key.ID)
 	}
 	e.cache.Update(from, d)
+	return nil
+}
+
+// OnDigestBatch ingests a batch of digest announcements — from[i]
+// announced ds[i] — in one pass: every sender is checked against the
+// radio topology first, then A_i is updated under a single lock
+// acquisition (ledger.DigestCache.UpdateBatch). Entries apply in slice
+// order, so a later digest from the same sender wins, exactly as the
+// equivalent sequence of OnDigest calls. The batch is all-or-nothing:
+// a non-neighbor sender (or mismatched slice lengths) rejects the
+// whole batch before any entry lands in A_i. The engine never retains
+// the slices, so callers may reuse them across batches.
+//
+// Safe for concurrent use with OnDigest; per-receiver batch delivery
+// (one goroutine per receiving engine) needs no locking beyond the
+// cache's own.
+func (e *Engine) OnDigestBatch(from []identity.NodeID, ds []digest.Digest) error {
+	if len(from) != len(ds) {
+		return fmt.Errorf("core: digest batch length mismatch: %d senders, %d digests", len(from), len(ds))
+	}
+	for _, j := range from {
+		if !e.topo.IsNeighbor(e.key.ID, j) {
+			return fmt.Errorf("%w: %v -> %v", ErrNotNeighbor, j, e.key.ID)
+		}
+	}
+	e.cache.UpdateBatch(from, ds)
+	return nil
+}
+
+// OnDigestsFrom ingests one neighbor's run of announcements in seal
+// order — the shape a wire DigestBatch frame carries. Because A_i
+// keeps only the sender's newest digest, the whole run costs one
+// neighbor check and one cache update regardless of length; the
+// all-or-nothing and ordering contracts match OnDigestBatch with a
+// repeated sender column.
+func (e *Engine) OnDigestsFrom(from identity.NodeID, ds []digest.Digest) error {
+	if len(ds) == 0 {
+		return nil
+	}
+	if !e.topo.IsNeighbor(e.key.ID, from) {
+		return fmt.Errorf("%w: %v -> %v", ErrNotNeighbor, from, e.key.ID)
+	}
+	e.cache.Update(from, ds[len(ds)-1])
 	return nil
 }
 

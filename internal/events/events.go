@@ -1,18 +1,21 @@
 // Package events defines the typed observation stream of a running
 // 2LDAG deployment. Every driver — the live node-per-device cluster
-// and the deterministic slot simulator — emits the same five event
+// and the deterministic slot simulator — emits the same six event
 // kinds at the same protocol moments, so metrics aggregation, test
 // instrumentation and user dashboards are written once against this
 // vocabulary instead of per-driver ad-hoc counters:
 //
-//   - BlockSealed       — a node sealed its next data block (Sec. III-D).
-//   - DigestAnnounced   — a neighbor ingested a header-digest
+//   - BlockSealed          — a node sealed its next data block (Sec. III-D).
+//   - DigestAnnounced      — a neighbor ingested a single header-digest
 //     announcement into its A_i cache (receiver side, so the event
 //     doubles as a delivery acknowledgement).
-//   - AuditHop          — a PoP validator issued one REQ_CHILD probe
+//   - DigestBatchDelivered — a neighbor ingested a whole batch of
+//     announcements in one receiver-side pass (the batched delivery
+//     path; one event per receiver per flush instead of one per edge).
+//   - AuditHop             — a PoP validator issued one REQ_CHILD probe
 //     (Sec. IV, Algorithm 3 line 17).
-//   - ConsensusReached  — an audit collected γ+1 distinct vouchers.
-//   - AuditFailed       — an audit ended without consensus.
+//   - ConsensusReached     — an audit collected γ+1 distinct vouchers.
+//   - AuditFailed          — an audit ended without consensus.
 //
 // Observers may be invoked concurrently from generation and audit
 // worker pools; implementations must be safe for concurrent use.
@@ -43,6 +46,20 @@ type BlockSealed struct {
 type DigestAnnounced struct {
 	From, To identity.NodeID
 	Digest   digest.Digest
+}
+
+// DigestBatchDelivered reports that To ingested a whole batch of
+// announcements — From[i] announced Digests[i] — into its neighbor
+// cache A_i in one receiver-side pass. It fires once per receiver per
+// flush (a simulator slot, or one wire.DigestBatch frame), after every
+// entry cleared the neighbor check, so a sender observing the event
+// knows its digests truly landed. The slices are shared with the
+// delivery path and only valid for the duration of the call: copy
+// them to retain, never mutate.
+type DigestBatchDelivered struct {
+	To      identity.NodeID
+	From    []identity.NodeID
+	Digests []digest.Digest
 }
 
 // AuditHop reports one REQ_CHILD probe: Validator asked Responder for
@@ -80,6 +97,7 @@ type AuditFailed struct {
 type Observer interface {
 	OnBlockSealed(BlockSealed)
 	OnDigestAnnounced(DigestAnnounced)
+	OnDigestBatchDelivered(DigestBatchDelivered)
 	OnAuditHop(AuditHop)
 	OnConsensusReached(ConsensusReached)
 	OnAuditFailed(AuditFailed)
@@ -89,11 +107,12 @@ type Observer interface {
 // only a subset of the interface.
 type Nop struct{}
 
-func (Nop) OnBlockSealed(BlockSealed)           {}
-func (Nop) OnDigestAnnounced(DigestAnnounced)   {}
-func (Nop) OnAuditHop(AuditHop)                 {}
-func (Nop) OnConsensusReached(ConsensusReached) {}
-func (Nop) OnAuditFailed(AuditFailed)           {}
+func (Nop) OnBlockSealed(BlockSealed)                   {}
+func (Nop) OnDigestAnnounced(DigestAnnounced)           {}
+func (Nop) OnDigestBatchDelivered(DigestBatchDelivered) {}
+func (Nop) OnAuditHop(AuditHop)                         {}
+func (Nop) OnConsensusReached(ConsensusReached)         {}
+func (Nop) OnAuditFailed(AuditFailed)                   {}
 
 // multi fans one event stream out to several observers, in order.
 type multi []Observer
@@ -107,6 +126,12 @@ func (m multi) OnBlockSealed(e BlockSealed) {
 func (m multi) OnDigestAnnounced(e DigestAnnounced) {
 	for _, o := range m {
 		o.OnDigestAnnounced(e)
+	}
+}
+
+func (m multi) OnDigestBatchDelivered(e DigestBatchDelivered) {
+	for _, o := range m {
+		o.OnDigestBatchDelivered(e)
 	}
 }
 

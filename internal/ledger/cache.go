@@ -28,6 +28,19 @@ func (c *DigestCache) Update(j identity.NodeID, d digest.Digest) {
 	c.latest[j] = d
 }
 
+// UpdateBatch records from[i]'s announcement of ds[i] for every i, in
+// order, under a single lock acquisition — the receiver-side batch
+// ingest of a whole slot's announcements. Later entries from the same
+// sender win, matching a sequence of Update calls. The slices must be
+// the same length; UpdateBatch never retains them.
+func (c *DigestCache) UpdateBatch(from []identity.NodeID, ds []digest.Digest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, j := range from {
+		c.latest[j] = ds[i]
+	}
+}
+
 // Get returns the cached digest for node j.
 func (c *DigestCache) Get(j identity.NodeID) (digest.Digest, bool) {
 	c.mu.RLock()

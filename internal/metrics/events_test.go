@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/events"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// TestEventCountersBatchDelivery pins the batched-path aggregation:
+// one batch counts as one flush plus len(Digests) accepted
+// deliveries, so DigestsAnnounced agrees between delivery paths.
+func TestEventCountersBatchDelivery(t *testing.T) {
+	var c EventCounters
+	c.OnDigestAnnounced(events.DigestAnnounced{From: 1, To: 2})
+	c.OnDigestBatchDelivered(events.DigestBatchDelivered{
+		To:      2,
+		From:    []identity.NodeID{1, 3, 4},
+		Digests: make([]digest.Digest, 3),
+	})
+	if got := c.DigestsAnnounced(); got != 4 {
+		t.Fatalf("DigestsAnnounced = %d, want 1 singleton + 3 batched = 4", got)
+	}
+	if got := c.DigestBatchesDelivered(); got != 1 {
+		t.Fatalf("DigestBatchesDelivered = %d, want 1", got)
+	}
+}
+
+// TestWritePrometheusGolden pins the text exposition format byte for
+// byte: HELP, TYPE and sample lines for every counter, in a fixed
+// order, so scrapers (and dashboards built on them) never see churn.
+func TestWritePrometheusGolden(t *testing.T) {
+	var c EventCounters
+	for i := 0; i < 3; i++ {
+		c.OnBlockSealed(events.BlockSealed{})
+	}
+	c.OnDigestAnnounced(events.DigestAnnounced{})
+	c.OnDigestBatchDelivered(events.DigestBatchDelivered{From: []identity.NodeID{1, 2}, Digests: nil})
+	c.OnAuditHop(events.AuditHop{})
+	c.OnConsensusReached(events.ConsensusReached{})
+	c.OnAuditFailed(events.AuditFailed{})
+
+	var sb strings.Builder
+	if err := c.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# HELP twoldag_blocks_sealed_total Blocks sealed (mined, signed, appended) across the deployment.
+# TYPE twoldag_blocks_sealed_total counter
+twoldag_blocks_sealed_total 3
+# HELP twoldag_digests_announced_total Digest announcements accepted into neighbor caches (receiver side).
+# TYPE twoldag_digests_announced_total counter
+twoldag_digests_announced_total 1
+# HELP twoldag_digest_batches_delivered_total Batched announcement flushes ingested (one per receiver per flush).
+# TYPE twoldag_digest_batches_delivered_total counter
+twoldag_digest_batches_delivered_total 1
+# HELP twoldag_audit_hops_total REQ_CHILD probes issued by PoP validators.
+# TYPE twoldag_audit_hops_total counter
+twoldag_audit_hops_total 1
+# HELP twoldag_consensus_reached_total Audits that collected gamma+1 distinct vouchers.
+# TYPE twoldag_consensus_reached_total counter
+twoldag_consensus_reached_total 1
+# HELP twoldag_audits_failed_total Audits that ended without consensus.
+# TYPE twoldag_audits_failed_total counter
+twoldag_audits_failed_total 1
+`
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition diverged from golden output:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -2,8 +2,10 @@
 // combining the core engine (block generation, digest cache), the
 // Algorithm 4 responder, a PoP validator and a transport. Nodes
 // exchange real wire messages — digest announcements on generation
-// (Sec. III-D), REQ_CHILD/RPY_CHILD and block retrievals during PoP
-// (Sec. IV) — over either the in-memory fabric or TCP.
+// (Sec. III-D), singly or coalesced into one DigestBatch frame per
+// neighbor per flush (AnnounceBatch), REQ_CHILD/RPY_CHILD and block
+// retrievals during PoP (Sec. IV) — over either the in-memory fabric
+// or TCP.
 //
 // The runtime also enforces the receiver-side DoS defense of Sec.
 // IV-D5: a neighbor announcing blocks faster than the proof-of-work
@@ -69,6 +71,13 @@ type Node struct {
 	mu       sync.Mutex
 	lastAnns map[identity.NodeID][]time.Time
 
+	// batchFrom is the scratch sender column for DigestBatchDelivered
+	// events on single-sender wire batches. It is only touched from
+	// the RPC dispatch goroutine (handle runs serially), so no lock is
+	// needed, and the event contract lets observers see it only for
+	// the duration of the call.
+	batchFrom []identity.NodeID
+
 	slot func() uint32
 
 	wg      sync.WaitGroup
@@ -127,6 +136,8 @@ func (n *Node) handle(env transport.Envelope) {
 	switch msg.Kind {
 	case wire.KindDigestAnnounce:
 		n.onAnnounce(msg)
+	case wire.KindDigestBatch:
+		n.onAnnounceBatch(msg)
 	case wire.KindReqChild:
 		if h, err := n.engine.Responder().ChildFor(msg.Digest); err == nil {
 			_ = n.rpc.Reply(ctx, msg.From, wire.NewRpyChild(msg, h))
@@ -149,32 +160,8 @@ func (n *Node) handle(env transport.Envelope) {
 // guard before accepting it into A_i.
 func (n *Node) onAnnounce(msg *wire.Message) {
 	from := msg.From
-	if n.bl.Banned(from) {
+	if !n.announceAllowed(from, 1) {
 		return
-	}
-	if n.cfg.AnnounceWindow > 0 && n.cfg.AnnounceLimit > 0 {
-		now := time.Now()
-		n.mu.Lock()
-		keep := n.lastAnns[from][:0]
-		for _, t := range n.lastAnns[from] {
-			if now.Sub(t) <= n.cfg.AnnounceWindow {
-				keep = append(keep, t)
-			}
-		}
-		keep = append(keep, now)
-		n.lastAnns[from] = keep
-		over := len(keep) > n.cfg.AnnounceLimit
-		n.mu.Unlock()
-		if over {
-			// Flooding faster than the PoW difficulty allows: ban
-			// (Sec. IV-D5 — "a node may ban a neighbor that generates
-			// blocks quicker than the expected time to solve the
-			// puzzle").
-			for !n.bl.Banned(from) {
-				n.bl.ReportFailure(from)
-			}
-			return
-		}
 	}
 	if err := n.engine.OnDigest(from, msg.Digest); err != nil {
 		return // non-neighbors rejected inside
@@ -184,6 +171,76 @@ func (n *Node) onAnnounce(msg *wire.Message) {
 		// can treat this as a delivery acknowledgement.
 		obs.OnDigestAnnounced(events.DigestAnnounced{From: from, To: n.ID(), Digest: msg.Digest})
 	}
+}
+
+// onAnnounceBatch ingests a coalesced announcement frame: the DoS
+// guard charges the sender one announcement per carried digest, then
+// the whole batch enters A_i in one engine pass and is acknowledged
+// with a single receiver-side DigestBatchDelivered event. A flush
+// that would cross AnnounceLimit is dropped whole — unlike the
+// singleton flood, no under-limit prefix lands: a frame flooding past
+// the PoW-plausible rate is hostile end to end, and announcement loss
+// is tolerated anyway (neighbors pick up the next digest).
+func (n *Node) onAnnounceBatch(msg *wire.Message) {
+	from := msg.From
+	if n.bl.Banned(from) {
+		return // cheap pre-check: banned peers don't get a decode
+	}
+	ds, err := msg.DecodeDigestBatchPayload()
+	if err != nil || len(ds) == 0 {
+		return // malformed or empty frames are dropped
+	}
+	if !n.announceAllowed(from, len(ds)) {
+		return
+	}
+	if err := n.engine.OnDigestsFrom(from, ds); err != nil {
+		return // non-neighbors rejected inside
+	}
+	if obs := n.cfg.Observer; obs != nil {
+		froms := n.batchFrom[:0]
+		for range ds {
+			froms = append(froms, from)
+		}
+		n.batchFrom = froms
+		obs.OnDigestBatchDelivered(events.DigestBatchDelivered{To: n.ID(), From: froms, Digests: ds})
+	}
+}
+
+// announceAllowed applies the receiver-side DoS defense of Sec. IV-D5
+// for count announcements arriving from one neighbor at once: a
+// banned sender is ignored, and a sender exceeding AnnounceLimit
+// digests within AnnounceWindow is banned (flooding faster than the
+// PoW difficulty plausibly allows — "a node may ban a neighbor that
+// generates blocks quicker than the expected time to solve the
+// puzzle").
+func (n *Node) announceAllowed(from identity.NodeID, count int) bool {
+	if n.bl.Banned(from) {
+		return false
+	}
+	if n.cfg.AnnounceWindow <= 0 || n.cfg.AnnounceLimit <= 0 {
+		return true
+	}
+	now := time.Now()
+	n.mu.Lock()
+	keep := n.lastAnns[from][:0]
+	for _, t := range n.lastAnns[from] {
+		if now.Sub(t) <= n.cfg.AnnounceWindow {
+			keep = append(keep, t)
+		}
+	}
+	for i := 0; i < count; i++ {
+		keep = append(keep, now)
+	}
+	n.lastAnns[from] = keep
+	over := len(keep) > n.cfg.AnnounceLimit
+	n.mu.Unlock()
+	if over {
+		for !n.bl.Banned(from) {
+			n.bl.ReportFailure(from)
+		}
+		return false
+	}
+	return true
 }
 
 // Generate produces the node's next block from body and announces its
@@ -220,6 +277,34 @@ func (n *Node) GenerateLocal(body []byte) (*block.Block, digest.Digest, error) {
 func (n *Node) Announce(ctx context.Context, d digest.Digest) {
 	for _, nb := range n.cfg.Topo.Neighbors(n.ID()) {
 		msg := wire.NewDigestAnnounce(n.ID(), nb, d, n.rpc.NextNonce())
+		if err := n.rpc.Transport().Send(ctx, nb, msg); err != nil {
+			continue
+		}
+	}
+}
+
+// AnnounceBatch broadcasts a run of sealed digests (in seal order) to
+// every radio neighbor, coalesced into one DigestBatch frame per
+// neighbor — one frame per (sender, receiver) pair per flush instead
+// of one per digest. A single digest falls back to the singleton
+// DigestAnnounce frame. Losses are tolerated exactly as with
+// Announce.
+func (n *Node) AnnounceBatch(ctx context.Context, ds []digest.Digest) {
+	switch len(ds) {
+	case 0:
+		return
+	case 1:
+		n.Announce(ctx, ds[0])
+		return
+	}
+	// One frame shared across neighbors: the digest concatenation is
+	// built once and only To/Nonce are retargeted per send — safe
+	// because both transports serialize the message inside Send and
+	// never retain it.
+	msg := wire.NewDigestBatch(n.ID(), 0, ds, 0)
+	for _, nb := range n.cfg.Topo.Neighbors(n.ID()) {
+		msg.To = nb
+		msg.Nonce = n.rpc.NextNonce()
 		if err := n.rpc.Transport().Send(ctx, nb, msg); err != nil {
 			continue
 		}

@@ -10,7 +10,11 @@ import (
 // TestParallelSchedulerIsDeterministic asserts the acceptance criterion
 // of the parallel slot scheduler: the same Seed must produce an
 // identical Report — every storage/comm/consensus series and per-node
-// sample — for any worker count, including the serial fallback.
+// sample — for any worker count, including the serial fallback. All
+// three slot phases run on the worker pool, so this covers the
+// receiver-batched announcement phase too: per-receiver batches keep
+// (sender, slot-order) ordering, making cache contents — and hence the
+// Report — independent of delivery scheduling.
 func TestParallelSchedulerIsDeterministic(t *testing.T) {
 	run := func(workers int) *Report {
 		t.Helper()

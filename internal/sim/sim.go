@@ -175,6 +175,20 @@ type Sim struct {
 	blockLog     []loggedBlock
 	slot         int
 
+	// Announcement scratch, reused across flushes so the batched
+	// phase 2 allocates nothing per slot: annSenders/annDigests hold
+	// one flush's (sender, digest) pairs in slot order; annFrom[j] and
+	// annDigs[j] are receiver j's batch columns; annRecvs lists the
+	// receivers touched by the current flush and annErrs their
+	// per-receiver delivery errors.
+	annSenders []identity.NodeID
+	annDigests []digest.Digest
+	annFrom    [][]identity.NodeID
+	annDigs    [][]digest.Digest
+	annRecvs   []int
+	annErrs    []error
+	annNbs     []identity.NodeID
+
 	// counters aggregates audit outcomes from the typed event stream —
 	// the Report's Audits/Failures derive from it rather than from
 	// ad-hoc tallies. obs additionally fans events out to the
@@ -364,8 +378,13 @@ func (s *Sim) blockModelBits(h *block.Header) int64 {
 //  1. Generation — every node due this slot mines its block from its
 //     start-of-slot digest cache, in parallel (a node's generation only
 //     touches its own engine and RNG stream).
-//  2. Announcement — the new digests are delivered to neighbor caches
-//     serially in node order, and the block log is extended.
+//  2. Announcement — the slot's digests are grouped by receiver and
+//     ingested as one per-receiver batch (Engine.OnDigestBatch) on the
+//     worker pool: each receiver's A_i is touched by exactly one
+//     goroutine, so delivery parallelizes without contention. Inside a
+//     batch the (sender, digest) pairs keep slot order — the order the
+//     serial scheduler would have applied them — so cache contents are
+//     bit-identical to singleton delivery.
 //  3. Audit duty — each generating honest node runs one PoP audit, in
 //     parallel; stores are immutable during this phase, responder comm
 //     charges are atomic, and all random draws come from the auditing
@@ -414,18 +433,25 @@ func (s *Sim) Step() error {
 		results[k] = genResult{ref: b.Header.Ref(), dig: d}
 	})
 
-	// Phase 2: serial announcement and bookkeeping, in node order.
+	// Phase 2: bookkeeping in node order, then receiver-centric batched
+	// announcement on the worker pool. The whole slot's generation must
+	// validate before anything is announced (sealed-delivery contract:
+	// a slot's announcements flush atomically or not at all).
+	senders := s.annSenders[:0]
+	digs := s.annDigests[:0]
 	for k, i := range gens {
-		id := s.ids[i]
 		r := results[k]
 		if r.err != nil {
 			return r.err
 		}
-		if err := s.announce(id, r.dig); err != nil {
-			return err
-		}
+		senders = append(senders, s.ids[i])
+		digs = append(digs, r.dig)
 		s.blockLog = append(s.blockLog, loggedBlock{ref: r.ref, slot: s.slot})
 		s.report.Blocks++
+	}
+	s.annSenders, s.annDigests = senders, digs
+	if err := s.deliverBatched(senders, digs); err != nil {
+		return err
 	}
 
 	// Phase 3: parallel audit duty for honest generators. Outcome
@@ -449,7 +475,9 @@ func (s *Sim) Step() error {
 }
 
 // announce delivers a freshly sealed digest to every live neighbor's
-// A_i cache, emitting the receiver-side DigestAnnounced event.
+// A_i cache, emitting the receiver-side DigestAnnounced event. It is
+// the singleton shim over the batched delivery path (deliverBatched),
+// kept for one-at-a-time external drive (SubmitAs/AnnounceAs).
 func (s *Sim) announce(id identity.NodeID, d digest.Digest) error {
 	for _, nb := range s.graph.Neighbors(id) {
 		eng, live := s.engines[nb]
@@ -462,6 +490,68 @@ func (s *Sim) announce(id identity.NodeID, d digest.Digest) error {
 		s.obs.OnDigestAnnounced(events.DigestAnnounced{From: id, To: nb, Digest: d})
 	}
 	return nil
+}
+
+// deliverBatched is the receiver-centric announcement path: one
+// flush's (froms[i] announced ds[i]) pairs are grouped by receiving
+// neighbor and ingested as one Engine.OnDigestBatch call per receiver
+// on the worker pool. Each receiver's cache is touched by exactly one
+// goroutine, so the phase parallelizes contention-free, and every
+// batch keeps its pairs in flush order — bit-identical cache contents
+// to serial singleton delivery, for any worker count. Silenced
+// neighbors miss the flush, like a dead radio. The per-receiver
+// scratch columns are reused across flushes, so a full slot's
+// delivery allocates nothing.
+func (s *Sim) deliverBatched(froms []identity.NodeID, ds []digest.Digest) error {
+	for len(s.annFrom) < len(s.ids) {
+		s.annFrom = append(s.annFrom, nil)
+		s.annDigs = append(s.annDigs, nil)
+	}
+	recvs := s.annRecvs[:0]
+	for k, from := range froms {
+		nbs := s.graph.AppendNeighbors(s.annNbs[:0], from)
+		s.annNbs = nbs
+		for _, nb := range nbs {
+			if _, live := s.engines[nb]; !live {
+				continue // silenced neighbors miss the announcement
+			}
+			j := s.idx[nb]
+			if len(s.annFrom[j]) == 0 {
+				recvs = append(recvs, j)
+			}
+			s.annFrom[j] = append(s.annFrom[j], from)
+			s.annDigs[j] = append(s.annDigs[j], ds[k])
+		}
+	}
+	s.annRecvs = recvs
+	errs := s.annErrs[:0]
+	for range recvs {
+		errs = append(errs, nil)
+	}
+	s.annErrs = errs
+	s.forEach(len(recvs), func(k int) {
+		j := recvs[k]
+		to := s.ids[j]
+		if err := s.engines[to].OnDigestBatch(s.annFrom[j], s.annDigs[j]); err != nil {
+			errs[k] = fmt.Errorf("sim: delivering batch to %v: %w", to, err)
+			return
+		}
+		s.obs.OnDigestBatchDelivered(events.DigestBatchDelivered{
+			To: to, From: s.annFrom[j], Digests: s.annDigs[j],
+		})
+	})
+	var first error
+	for _, err := range errs {
+		if err != nil {
+			first = err
+			break
+		}
+	}
+	for _, j := range recvs {
+		s.annFrom[j] = s.annFrom[j][:0]
+		s.annDigs[j] = s.annDigs[j][:0]
+	}
+	return first
 }
 
 // forEach runs fn(0..n-1) on the worker pool; with one worker (or one
@@ -577,6 +667,21 @@ func (s *Sim) Run() (*Report, error) {
 	return s.Finalize(), nil
 }
 
+// RunSlots advances the slotted scheduler n more slots (n Step calls)
+// without finalizing, so callers that reach the Sim through the public
+// Runtime facade can drive the same generation/announcement/audit
+// schedule the figures use and read the report with Finalize. Do not
+// mix RunSlots with the external-drive verbs (SubmitAs, AuditFrom) on
+// the same Sim.
+func (s *Sim) RunSlots(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Finalize fills the per-node samples and returns the report. Audit
 // totals come from the event counters, so externally driven audits
 // (AuditFrom) count alongside per-slot audit duty; an externally
@@ -650,9 +755,28 @@ func (s *Sim) GenerateAs(id identity.NodeID, body []byte) (block.Ref, digest.Dig
 }
 
 // AnnounceAs delivers a digest returned by GenerateAs to id's live
-// neighbors.
+// neighbors, one at a time (the singleton path; batch submitters use
+// AnnounceBatch).
 func (s *Sim) AnnounceAs(id identity.NodeID, d digest.Digest) error {
 	return s.announce(id, d)
+}
+
+// AnnounceBatch flushes a whole batch of digests returned by
+// GenerateAs — froms[i] announced ds[i] — through the same
+// receiver-centric delivery the slotted scheduler uses: grouped by
+// receiving neighbor, one batch ingest per receiver on the worker
+// pool, pairs in flush order. This is the external-drive verb behind
+// the public SubmitBatch.
+func (s *Sim) AnnounceBatch(froms []identity.NodeID, ds []digest.Digest) error {
+	if len(froms) != len(ds) {
+		return fmt.Errorf("sim: announce batch length mismatch: %d senders, %d digests", len(froms), len(ds))
+	}
+	for _, id := range froms {
+		if _, live := s.engines[id]; !live {
+			return fmt.Errorf("sim: unknown or silenced node %v", id)
+		}
+	}
+	return s.deliverBatched(froms, ds)
 }
 
 // BlockOf fetches a block from its origin's store (display and sample

@@ -1,10 +1,12 @@
 // Package wire defines the 2LDAG message vocabulary and its binary
 // encoding. The protocol has exactly the message families the paper
 // names (Sec. IV-D5): digest announcements (block generation,
-// Sec. III-D), REQ_CHILD / RPY_CHILD (PoP, Sec. IV), plus the block
-// retrieval pair a validator uses to fetch the verifier's full block
-// (Algorithm 3 line 2). Every message carries an anti-replay nonce and
-// a correlation ID for request/response matching.
+// Sec. III-D) — singly (DigestAnnounce) or coalesced into one frame
+// per neighbor per flush (DigestBatch) — REQ_CHILD / RPY_CHILD (PoP,
+// Sec. IV), plus the block retrieval pair a validator uses to fetch
+// the verifier's full block (Algorithm 3 line 2). Every message
+// carries an anti-replay nonce and a correlation ID for
+// request/response matching.
 package wire
 
 import (
@@ -36,6 +38,13 @@ const (
 	KindBlockResp
 	// KindNotFound is a negative response to ReqChild or GetBlock.
 	KindNotFound
+	// KindDigestBatch carries every digest a node announces to one
+	// neighbor in a single frame — one frame per (sender, receiver)
+	// pair per flush instead of one per digest. The payload is the
+	// concatenation of the digests in seal order (the length prefix of
+	// the payload field frames the batch; the digest count is
+	// len(Payload)/digest.Size).
+	KindDigestBatch
 
 	kindMax
 )
@@ -55,6 +64,8 @@ func (k Kind) String() string {
 		return "BLOCK_RESP"
 	case KindNotFound:
 		return "NOT_FOUND"
+	case KindDigestBatch:
+		return "DIGEST_BATCH"
 	default:
 		return fmt.Sprintf("KIND(%d)", uint8(k))
 	}
@@ -105,6 +116,23 @@ func NewDigestAnnounce(from, to identity.NodeID, d digest.Digest, nonce uint64) 
 	return &Message{Kind: KindDigestAnnounce, From: from, To: to, Digest: d, Nonce: nonce}
 }
 
+// NewDigestBatch builds one coalesced announcement frame carrying
+// every digest from sealed for neighbor to, in seal order. The Digest
+// field holds the newest digest (the one that ends up in A_i), so a
+// batch of one is wire-equivalent to a DigestAnnounce plus the batch
+// framing.
+func NewDigestBatch(from, to identity.NodeID, ds []digest.Digest, nonce uint64) *Message {
+	payload := make([]byte, 0, len(ds)*digest.Size)
+	for i := range ds {
+		payload = append(payload, ds[i][:]...)
+	}
+	m := &Message{Kind: KindDigestBatch, From: from, To: to, Nonce: nonce, Payload: payload}
+	if len(ds) > 0 {
+		m.Digest = ds[len(ds)-1]
+	}
+	return m
+}
+
 // NewReqChild builds a REQ_CHILD for the PoP target digest.
 func NewReqChild(from, to identity.NodeID, target digest.Digest, corr, nonce uint64) *Message {
 	return &Message{Kind: KindReqChild, From: from, To: to, Digest: target, Corr: corr, Nonce: nonce}
@@ -134,6 +162,23 @@ func NewBlockResp(req *Message, b *block.Block) *Message {
 // NewNotFound answers req negatively.
 func NewNotFound(req *Message) *Message {
 	return &Message{Kind: KindNotFound, From: req.To, To: req.From, Corr: req.Corr, Nonce: req.Nonce}
+}
+
+// DecodeDigestBatchPayload parses the digests carried by a
+// DigestBatch, in seal order. The digests are copied out of the
+// payload, so the returned slice outlives the message buffer.
+func (m *Message) DecodeDigestBatchPayload() ([]digest.Digest, error) {
+	if m.Kind != KindDigestBatch {
+		return nil, fmt.Errorf("%w: %v carries no digest batch", ErrBadPayload, m.Kind)
+	}
+	if len(m.Payload)%digest.Size != 0 {
+		return nil, fmt.Errorf("%w: digest batch payload of %d bytes", ErrBadPayload, len(m.Payload))
+	}
+	ds := make([]digest.Digest, len(m.Payload)/digest.Size)
+	for i := range ds {
+		copy(ds[i][:], m.Payload[i*digest.Size:])
+	}
+	return ds, nil
 }
 
 // DecodeHeaderPayload parses the header carried by a RpyChild.

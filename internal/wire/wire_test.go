@@ -38,6 +38,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 	get := NewGetBlock(1, 2, block.Ref{Node: 2, Seq: 5}, 8, 10)
 	msgs := []*Message{
 		NewDigestAnnounce(1, 2, digest.Sum([]byte("d")), 3),
+		NewDigestBatch(1, 2, []digest.Digest{digest.Sum([]byte("a")), digest.Sum([]byte("b"))}, 4),
 		req,
 		NewRpyChild(req, h),
 		get,
@@ -98,6 +99,40 @@ func TestDecodePayloads(t *testing.T) {
 	}
 	if _, err := get.DecodeBlockPayload(); !errors.Is(err, ErrBadPayload) {
 		t.Fatalf("block decode on GET should fail: %v", err)
+	}
+}
+
+func TestDigestBatchPayload(t *testing.T) {
+	ds := []digest.Digest{
+		digest.Sum([]byte("first")),
+		digest.Sum([]byte("second")),
+		digest.Sum([]byte("third")),
+	}
+	m := NewDigestBatch(7, 8, ds, 11)
+	if m.Digest != ds[len(ds)-1] {
+		t.Fatal("batch Digest field must hold the newest digest")
+	}
+	back, err := m.DecodeDigestBatchPayload()
+	if err != nil {
+		t.Fatalf("DecodeDigestBatchPayload: %v", err)
+	}
+	if len(back) != len(ds) {
+		t.Fatalf("got %d digests, want %d", len(back), len(ds))
+	}
+	for i := range ds {
+		if back[i] != ds[i] {
+			t.Fatalf("digest %d mismatch (seal order must survive the wire)", i)
+		}
+	}
+	// The wrong kind and a payload not a multiple of digest.Size are
+	// both rejected.
+	ann := NewDigestAnnounce(1, 2, ds[0], 1)
+	if _, err := ann.DecodeDigestBatchPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("batch decode on DIGEST should fail: %v", err)
+	}
+	m.Payload = m.Payload[:len(m.Payload)-1]
+	if _, err := m.DecodeDigestBatchPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("ragged payload should fail: %v", err)
 	}
 }
 

@@ -30,6 +30,10 @@ type (
 	// announcement into its A_i cache (receiver side — a delivery
 	// acknowledgement).
 	DigestAnnounced = events.DigestAnnounced
+	// DigestBatchDelivered reports a neighbor ingesting a whole
+	// coalesced announcement flush in one pass (one event per receiver
+	// per flush; the slices are only valid during the call).
+	DigestBatchDelivered = events.DigestBatchDelivered
 	// AuditHop reports one REQ_CHILD probe of a PoP verification.
 	AuditHop = events.AuditHop
 	// ConsensusReached reports an audit that collected γ+1 vouchers.

@@ -42,9 +42,13 @@ type Runtime interface {
 	// none).
 	Submit(ctx context.Context, id NodeID, data []byte) (Ref, error)
 	// SubmitBatch seals one block per submission, then flushes all
-	// announcements in one round and waits for the acknowledgements
-	// together — one announcement flush per slot instead of per block.
-	// On error the already-sealed prefix of refs is returned.
+	// announcements in one receiver-centric round — each sender's
+	// digests coalesce into one frame per neighbor, and each receiver
+	// ingests its whole batch in one pass — and waits for the
+	// acknowledgements together: one announcement flush per slot
+	// instead of per block, one frame per (sender, neighbor) pair
+	// instead of per edge. On error the already-sealed prefix of refs
+	// is returned.
 	SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, error)
 	// Audit runs PoP from validator against ref and reports whether
 	// γ+1 distinct nodes vouch for the block.

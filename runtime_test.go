@@ -141,6 +141,128 @@ func TestDriverEquivalence(t *testing.T) {
 	}
 }
 
+// fillSingleton drives the same per-slot submissions as fillBatch but
+// one Submit at a time — the singleton delivery path.
+func fillSingleton(t *testing.T, rt Runtime, slots int) []Ref {
+	t.Helper()
+	ctx := context.Background()
+	var refs []Ref
+	for s := 0; s < slots; s++ {
+		rt.AdvanceSlot()
+		for _, id := range rt.Nodes() {
+			ref, err := rt.Submit(ctx, id, []byte(fmt.Sprintf("reading %v@%d", id, s)))
+			if err != nil {
+				t.Fatalf("Submit %v slot %d: %v", id, s, err)
+			}
+			refs = append(refs, ref)
+		}
+	}
+	return refs
+}
+
+// TestBatchedAndSingletonDeliveryEquivalent extends the
+// driver-equivalence guarantee to the batched announcement pipeline:
+// on each driver, a deployment driven with per-slot SubmitBatch
+// (coalesced frames, per-receiver batch ingest) and an identical
+// deployment driven with one Submit per block (singleton path) must
+// seal the same refs and reach the same audit consensus outcomes.
+func TestBatchedAndSingletonDeliveryEquivalent(t *testing.T) {
+	const nodes, gamma, slots = 10, 2, 4
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"live", baseOptions(nodes, gamma)},
+		{"sim", append(baseOptions(nodes, gamma), WithSimulator())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			batched := newRuntime(t, tc.opts...)
+			singleton := newRuntime(t, tc.opts...)
+			bRefs := fillBatch(t, batched, slots)
+			sRefs := fillSingleton(t, singleton, slots)
+			if len(bRefs) != len(sRefs) {
+				t.Fatalf("ref counts diverge: batched %d, singleton %d", len(bRefs), len(sRefs))
+			}
+			for i := range bRefs {
+				if bRefs[i] != sRefs[i] {
+					t.Fatalf("ref %d diverges: batched %v, singleton %v", i, bRefs[i], sRefs[i])
+				}
+			}
+			ctx := context.Background()
+			ids := batched.Nodes()
+			consensuses := 0
+			for k := 0; k < 6; k++ {
+				target := bRefs[(k*3)%(len(bRefs)/2)]
+				validator := ids[(k*5)%len(ids)]
+				if validator == target.Node {
+					validator = ids[(k*5+1)%len(ids)]
+				}
+				bres, berr := batched.Audit(ctx, validator, target)
+				sres, serr := singleton.Audit(ctx, validator, target)
+				if (berr == nil) != (serr == nil) || errors.Is(berr, ErrNoConsensus) != errors.Is(serr, ErrNoConsensus) {
+					t.Fatalf("audit %v by %v: errors diverge: batched %v, singleton %v", target, validator, berr, serr)
+				}
+				if berr != nil {
+					continue
+				}
+				if bres.Consensus != sres.Consensus {
+					t.Fatalf("audit %v by %v: consensus diverges: batched %v, singleton %v",
+						target, validator, bres.Consensus, sres.Consensus)
+				}
+				if bres.Consensus {
+					consensuses++
+				}
+			}
+			if consensuses == 0 {
+				t.Fatal("no audit reached consensus on either path; test has no power")
+			}
+		})
+	}
+}
+
+// TestSubmitBatchCoalescesPerSender pins the wire-level batching on
+// the live driver: several blocks from the same sender in one
+// SubmitBatch arrive at each neighbor as one DigestBatch frame (one
+// receiver-side batch delivery), not one frame per block.
+func TestSubmitBatchCoalescesPerSender(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"inmem", baseOptions(8, 1)},
+		{"tcp", append(baseOptions(8, 1), WithTransport(TCP))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			obs := &countingObserver{}
+			rt := newRuntime(t, append(tc.opts, WithObserver(obs))...)
+			ids := rt.Nodes()
+			rt.AdvanceSlot()
+			const perSender = 3
+			var batch []Submission
+			for i := 0; i < perSender; i++ {
+				batch = append(batch, Submission{Node: ids[0], Data: []byte(fmt.Sprintf("run %d", i))})
+			}
+			refs, err := rt.SubmitBatch(context.Background(), batch)
+			if err != nil {
+				t.Fatalf("SubmitBatch: %v", err)
+			}
+			if len(refs) != perSender {
+				t.Fatalf("got %d refs, want %d", len(refs), perSender)
+			}
+			neighbors := len(rt.Topology().Neighbors(ids[0]))
+			if neighbors == 0 {
+				t.Fatal("sender has no neighbors; test has no power")
+			}
+			if got := obs.batches.Load(); got != int64(neighbors) {
+				t.Fatalf("batch deliveries: got %d, want one per neighbor (%d)", got, neighbors)
+			}
+			if got := obs.announced.Load(); got != int64(neighbors*perSender) {
+				t.Fatalf("accepted deliveries: got %d, want %d", got, neighbors*perSender)
+			}
+		})
+	}
+}
+
 // TestAuditManyBothDrivers exercises the worker-pool fan-out on each
 // driver: outcomes arrive in request order, carry their request, and
 // agree with one-at-a-time audits.
@@ -219,14 +341,20 @@ func TestSubmitRespectsContextDeadline(t *testing.T) {
 	}
 }
 
-// countingObserver tallies the typed event stream.
+// countingObserver tallies the typed event stream. announced counts
+// accepted digest deliveries on either path — singly announced or
+// carried by a coalesced batch — matching EventCounters semantics.
 type countingObserver struct {
 	NopObserver
-	sealed, announced, hops, ok, failed atomic.Int64
+	sealed, announced, batches, hops, ok, failed atomic.Int64
 }
 
-func (o *countingObserver) OnBlockSealed(BlockSealed)           { o.sealed.Add(1) }
-func (o *countingObserver) OnDigestAnnounced(DigestAnnounced)   { o.announced.Add(1) }
+func (o *countingObserver) OnBlockSealed(BlockSealed)         { o.sealed.Add(1) }
+func (o *countingObserver) OnDigestAnnounced(DigestAnnounced) { o.announced.Add(1) }
+func (o *countingObserver) OnDigestBatchDelivered(e DigestBatchDelivered) {
+	o.batches.Add(1)
+	o.announced.Add(int64(len(e.Digests)))
+}
 func (o *countingObserver) OnAuditHop(AuditHop)                 { o.hops.Add(1) }
 func (o *countingObserver) OnConsensusReached(ConsensusReached) { o.ok.Add(1) }
 func (o *countingObserver) OnAuditFailed(AuditFailed)           { o.failed.Add(1) }

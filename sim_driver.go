@@ -73,15 +73,15 @@ func (d *SimDriver) Submit(ctx context.Context, id NodeID, data []byte) (Ref, er
 
 // SubmitBatch implements Runtime, mirroring the slotted scheduler's
 // phase split: every block is sealed from the start-of-batch digest
-// caches first, then all announcements flush at once — the same
-// semantics the live driver's batched acknowledgement wait produces.
+// caches first, then the whole batch flushes through the
+// receiver-centric delivery path (sim.AnnounceBatch) — the slot's
+// digests grouped by receiving neighbor and ingested as one batch per
+// receiver on the worker pool, the same semantics the live driver's
+// coalesced frames and batched acknowledgement wait produce.
 func (d *SimDriver) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, error) {
-	type flush struct {
-		node NodeID
-		dig  Digest
-	}
 	refs := make([]Ref, 0, len(batch))
-	flushes := make([]flush, 0, len(batch))
+	froms := make([]NodeID, 0, len(batch))
+	digs := make([]Digest, 0, len(batch))
 	for _, sub := range batch {
 		if err := ctx.Err(); err != nil {
 			return refs, err
@@ -91,12 +91,11 @@ func (d *SimDriver) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref,
 			return refs, err
 		}
 		refs = append(refs, ref)
-		flushes = append(flushes, flush{node: sub.Node, dig: dig})
+		froms = append(froms, sub.Node)
+		digs = append(digs, dig)
 	}
-	for _, f := range flushes {
-		if err := d.s.AnnounceAs(f.node, f.dig); err != nil {
-			return refs, err
-		}
+	if err := d.s.AnnounceBatch(froms, digs); err != nil {
+		return refs, err
 	}
 	return refs, nil
 }
@@ -165,3 +164,13 @@ type SimReport = sim.Report
 // far: per-slot average storage and communication under the paper's
 // size model, final per-node samples, and audit totals.
 func (d *SimDriver) Report() *SimReport { return d.s.Finalize() }
+
+// RunSlots drives the simulator's slotted scheduler for n slots —
+// per-slot generation, receiver-batched announcement and audit duty,
+// exactly the schedule behind the paper's figures — and leaves the
+// report open for Report. It is the figure-regeneration entry point
+// on the public API: experiments that used to reach into internal/sim
+// build the driver with New(WithSimulator(), ...) and read
+// SimDriver.Report instead. Do not mix RunSlots with the Submit/
+// AdvanceSlot external drive on the same driver.
+func (d *SimDriver) RunSlots(n int) error { return d.s.RunSlots(n) }
