@@ -63,6 +63,7 @@ func BenchmarkFig7Storage(b *testing.B) {
 					b.Fatal(err)
 				}
 				r2, err := s.Run()
+				s.Close()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -93,6 +94,7 @@ func BenchmarkFig7StorageCDF(b *testing.B) {
 			b.Fatal(err)
 		}
 		rep, err := s.Run()
+		s.Close()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,6 +131,7 @@ func BenchmarkFig8Comm(b *testing.B) {
 					b.Fatal(err)
 				}
 				rep, err := s.Run()
+				s.Close()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -226,6 +229,7 @@ func BenchmarkAblationPathStrategy(b *testing.B) {
 					b.Fatal(err)
 				}
 				rep, err := s.Run()
+				s.Close()
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -258,6 +262,7 @@ func BenchmarkAblationTPS(b *testing.B) {
 					b.Fatal(err)
 				}
 				rep, err := s.Run()
+				s.Close()
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -26,6 +26,17 @@
 // snapshot — keeps only the header seal, because the store does not
 // know the Merkle leaf size; callers that hold the Params can run
 // Params.SealBlock before Append to memoize the body root as well.
+//
+// # Immutable-prefix views
+//
+// Store is append-only, so any prefix of it is immutable forever.
+// Store.ViewAt captures that as a first-class read view: a View fenced
+// at length n answers Get/OldestContaining exactly as the store did
+// when it held n blocks, regardless of concurrent appends. This is the
+// contract the simulator's pipelined slot execution leans on — audits
+// of slot t read every responder's store through a view captured at
+// the slot-t boundary while slot t+1 generation keeps appending, and
+// still observe precisely the barriered-schedule state (see View).
 package ledger
 
 import (

@@ -1,0 +1,120 @@
+package ledger
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// TestViewImmutablePrefix pins the fence semantics: a view captured at
+// length n answers Get/OldestContaining exactly as the store did when
+// it held n blocks, no matter what is appended afterwards.
+func TestViewImmutablePrefix(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	s := NewStore(1)
+	blocks := chainFor(t, key, 4, nil)
+	for _, b := range blocks[:2] {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := s.View()
+	if v.Len() != 2 || v.Owner() != 1 {
+		t.Fatalf("Len/Owner = %d/%v, want 2/1", v.Len(), v.Owner())
+	}
+	// blocks[2]'s Δ contains blocks[1]'s hash; before it is appended,
+	// neither the store nor the view knows a child for blocks[1].
+	d1 := blocks[1].Header.Hash()
+	if _, ok := v.OldestContaining(d1); ok {
+		t.Fatal("view found a child that does not exist yet")
+	}
+	for _, b := range blocks[2:] {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The live store sees the new child; the fenced view must not.
+	if b, ok := s.OldestContaining(d1); !ok || b.Header.Seq != 2 {
+		t.Fatalf("live store OldestContaining = %v, %v; want seq 2", b, ok)
+	}
+	if _, ok := v.OldestContaining(d1); ok {
+		t.Fatal("fenced view observed a post-fence append")
+	}
+	// In-fence children stay visible.
+	if b, ok := v.OldestContaining(blocks[0].Header.Hash()); !ok || b.Header.Seq != 1 {
+		t.Fatalf("in-fence OldestContaining = %v, %v; want seq 1", b, ok)
+	}
+	// Get is fenced the same way.
+	if _, err := v.Get(2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get beyond fence = %v, want ErrNotFound", err)
+	}
+	if b, err := v.Get(1); err != nil || b.Header.Seq != 1 {
+		t.Fatalf("Get(1) = %v, %v", b, err)
+	}
+	// A fresh view sees everything.
+	if got := s.View().Len(); got != 4 {
+		t.Fatalf("fresh view Len = %d, want 4", got)
+	}
+}
+
+// TestViewRaceWithAppends models the pipelined slot hand-off: audits
+// of slot t read a responder's store through a view fenced at the
+// slot boundary while the owner (slot t+1 generation) keeps
+// appending. Run under -race this pins the immutable-prefix read
+// path; the assertions pin that the fenced answers never change while
+// appends land.
+func TestViewRaceWithAppends(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	s := NewStore(1)
+	blocks := chainFor(t, key, 24, nil)
+	for _, b := range blocks[:12] {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := s.View()
+	preFence := blocks[4].Header.Hash()   // child (seq 5) is in-fence
+	lastFence := blocks[11].Header.Hash() // child (seq 12) arrives post-fence
+
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 300; n++ {
+				if b, ok := v.OldestContaining(preFence); !ok || b.Header.Seq != 5 {
+					t.Errorf("fenced child moved: %v, %v", b, ok)
+					return
+				}
+				if _, ok := v.OldestContaining(lastFence); ok {
+					t.Error("fenced view observed an in-flight append")
+					return
+				}
+				if b, err := v.Get(11); err != nil || b.Header.Seq != 11 {
+					t.Errorf("fenced Get(11) = %v, %v", b, err)
+					return
+				}
+				if _, err := v.Get(12); err == nil {
+					t.Error("fenced Get crossed the fence")
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, b := range blocks[12:] {
+			if err := s.Append(b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if s.Len() != 24 || v.Len() != 12 {
+		t.Fatalf("Len store/view = %d/%d, want 24/12", s.Len(), v.Len())
+	}
+}

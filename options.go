@@ -78,6 +78,7 @@ type config struct {
 	observers []Observer
 	malicious int
 	bodyBytes int
+	pipeline  int
 }
 
 func defaultConfig() *config {
@@ -85,6 +86,7 @@ func defaultConfig() *config {
 		params:    block.DefaultParams(),
 		rto:       2 * time.Second,
 		bodyBytes: 100_000,
+		pipeline:  1,
 	}
 }
 
@@ -183,6 +185,28 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithPipelineDepth bounds how many slots of audit duty the
+// simulator's slotted scheduler (SimDriver.RunSlots) may keep in
+// flight behind generation. The default d = 1 runs the fully
+// barriered schedule; d ≥ 2 overlaps slot t's audits with slot t+1's
+// generation under the immutable-prefix contract — audits read every
+// store through a view fenced at their slot boundary, and a node's
+// next generation waits for its own outstanding audit so per-node
+// random streams keep their barriered order. The Report is
+// byte-identical for every depth and worker count on the same seed;
+// the depth only trades memory (in-flight slots) for wall-clock
+// overlap. Simulator only: the live driver's audits are already
+// caller-paced.
+func WithPipelineDepth(d int) Option {
+	return func(c *config) error {
+		if d < 1 {
+			return fmt.Errorf("twoldag: WithPipelineDepth(%d): depth must be at least 1", d)
+		}
+		c.pipeline = d
+		return nil
+	}
+}
+
 // WithObserver attaches a typed event observer; repeat the option to
 // attach several. Observers must be safe for concurrent use.
 func WithObserver(o Observer) Option {
@@ -265,6 +289,9 @@ func (c *config) validate(g *topology.Graph) error {
 	if c.driver == DriverLive {
 		if c.malicious > 0 {
 			return errors.New("twoldag: WithMalicious requires the simulator driver (use Silence on a live cluster)")
+		}
+		if c.pipeline > 1 {
+			return errors.New("twoldag: WithPipelineDepth applies to the simulator driver only")
 		}
 	}
 	if c.driver == DriverSim {
