@@ -2,13 +2,16 @@ package twoldag
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/events"
+	"github.com/twoldag/twoldag/internal/faults"
 	"github.com/twoldag/twoldag/internal/identity"
 	"github.com/twoldag/twoldag/internal/node"
 	"github.com/twoldag/twoldag/internal/topology"
@@ -153,6 +156,24 @@ func (t *ackTracker) resolve(d Digest, to NodeID) {
 	}
 }
 
+// pending snapshots the neighbors that have not yet acknowledged d
+// (nil once the waiter resolved), sorted for reproducible retry
+// fan-out.
+func (t *ackTracker) pending(d Digest) []NodeID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w, ok := t.waiters[d]
+	if !ok {
+		return nil
+	}
+	out := make([]NodeID, 0, len(w.pending))
+	for id := range w.pending {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // cancel abandons a waiter and reports which neighbors never
 // acknowledged (empty when the waiter actually completed).
 func (t *ackTracker) cancel(d Digest) []NodeID {
@@ -186,6 +207,8 @@ type Cluster struct {
 	workers int
 	tracker *ackTracker
 	obs     Observer // user observers (may be nil); tracker added per node
+	plan    faults.Plan
+	retry   faults.RetryPolicy
 }
 
 var _ Runtime = (*Cluster)(nil)
@@ -204,6 +227,8 @@ func newCluster(cfg *config, g *topology.Graph) (*Cluster, error) {
 		workers: cfg.workers,
 		tracker: newAckTracker(),
 		obs:     events.Multi(cfg.observers...),
+		plan:    cfg.faultPlan,
+		retry:   cfg.retry,
 	}
 	switch cfg.transport {
 	case TCP:
@@ -235,19 +260,40 @@ func (c *Cluster) startNode(kp identity.KeyPair) error {
 	if err != nil {
 		return fmt.Errorf("twoldag: %w", err)
 	}
+	// User observers run before the tracker: the tracker's ack is
+	// what unblocks a waiting Submit/SubmitBatch, so ordering it
+	// last guarantees every user observer has already seen a
+	// delivery by the time the submitter returns.
+	obs := events.Multi(c.obs, c.tracker)
+	if tn, ok := ep.(*transport.TCPNode); ok {
+		// TCP cannot report receiver-side backpressure to the sender;
+		// surface each inbound inbox-full loss as a MessageDropped.
+		self := kp.ID
+		tn.SetDropHandler(func(env transport.Envelope) {
+			if obs != nil {
+				obs.OnMessageDropped(events.MessageDropped{
+					From: env.From, To: self, Kind: uint8(env.Msg.Kind),
+					Reason: events.DropBackpressure,
+				})
+			}
+		})
+	}
+	tr := transport.Transport(ep)
+	if c.plan.Active() {
+		slot := &c.slot
+		tr = faults.Wrap(ep, c.plan, func() uint32 { return slot.Load() }, obs)
+	}
 	n, err := node.New(node.Config{
 		Key:            kp,
 		Params:         c.params,
 		Topo:           c.topo,
 		Ring:           c.ring,
-		Transport:      ep,
+		Transport:      tr,
 		Gamma:          c.gamma,
 		RequestTimeout: c.rto,
-		// User observers run before the tracker: the tracker's ack is
-		// what unblocks a waiting Submit/SubmitBatch, so ordering it
-		// last guarantees every user observer has already seen a
-		// delivery by the time the submitter returns.
-		Observer: events.Multi(c.obs, c.tracker),
+		Retry:          c.retry,
+		Health:         faults.NewHealth(kp.ID, 0, obs),
+		Observer:       obs,
 	})
 	if err != nil {
 		return fmt.Errorf("twoldag: starting node %v: %w", kp.ID, err)
@@ -307,6 +353,46 @@ func (c *Cluster) awaitAck(ctx context.Context, origin NodeID, d Digest, w *ackW
 	}
 }
 
+// awaitAckRetry is awaitAck with the configured retry policy: each
+// missing acknowledgement re-sends the digest — only to the neighbors
+// still pending, as a singleton frame — after an exponential backoff,
+// up to MaxAttempts total announcement rounds. Retries are ack-driven,
+// never blind: a loss-free run sends exactly one frame per link and
+// takes the plain awaitAck path.
+func (c *Cluster) awaitAckRetry(ctx context.Context, n *node.Node, d Digest, w *ackWaiter) error {
+	if !c.retry.Enabled() {
+		return c.awaitAck(ctx, n.ID(), d, w)
+	}
+	key := binary.LittleEndian.Uint64(d[:8])
+	for attempt := 2; attempt <= c.retry.MaxAttempts; attempt++ {
+		timer := time.NewTimer(c.retry.Backoff(attempt, key))
+		select {
+		case <-w.done:
+			timer.Stop()
+			return nil
+		case <-ctx.Done():
+			timer.Stop()
+			return c.awaitAck(ctx, n.ID(), d, w) // reports the missing set
+		case <-timer.C:
+		}
+		pending := c.tracker.pending(d)
+		if len(pending) == 0 {
+			// Resolved in the same instant; the waiter is gone, so done
+			// is closed (or about to be).
+			return c.awaitAck(ctx, n.ID(), d, w)
+		}
+		for _, nb := range pending {
+			if c.obs != nil {
+				c.obs.OnRetryAttempted(events.RetryAttempted{
+					Node: n.ID(), Peer: nb, Announce: true, Attempt: attempt,
+				})
+			}
+			n.AnnounceTo(ctx, nb, d)
+		}
+	}
+	return c.awaitAck(ctx, n.ID(), d, w)
+}
+
 // Submit implements Runtime: seal, announce, and wait for every live
 // neighbor's acknowledgement (event-driven — see ackTracker).
 func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, error) {
@@ -322,7 +408,7 @@ func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, erro
 	actx, cancel := c.ackCtx(ctx)
 	defer cancel()
 	n.Announce(actx, d)
-	if err := c.awaitAck(actx, id, d, w); err != nil {
+	if err := c.awaitAckRetry(actx, n, d, w); err != nil {
 		return b.Header.Ref(), err
 	}
 	return b.Header.Ref(), nil
@@ -376,6 +462,26 @@ func (c *Cluster) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, e
 	defer cancel()
 	for _, n := range senders {
 		n.AnnounceBatch(actx, bySender[n.ID()])
+	}
+	if c.retry.Enabled() {
+		// Await concurrently so every flush's retry clock runs at once;
+		// sequential waits would serialize the backoffs.
+		errs := make([]error, len(flushes))
+		var wg sync.WaitGroup
+		for i, f := range flushes {
+			wg.Add(1)
+			go func(i int, f flush) {
+				defer wg.Done()
+				errs[i] = c.awaitAckRetry(actx, f.n, f.d, f.w)
+			}(i, f)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return fail(err)
+			}
+		}
+		return refs, nil
 	}
 	for _, f := range flushes {
 		if err := c.awaitAck(actx, f.n.ID(), f.d, f.w); err != nil {

@@ -36,6 +36,13 @@ type ValidatorConfig struct {
 	// Blacklist, when non-nil, records unresponsive peers and skips
 	// banned ones (Sec. IV-D6).
 	Blacklist *ledger.Blacklist
+	// Avoid, when non-nil, reports peers to route around — e.g. a
+	// health tracker's suspects. Unlike a blacklist ban the filter is
+	// advisory: avoided peers are skipped only while a non-avoided
+	// candidate remains, so they stay reachable as a last resort (which
+	// doubles as the recovery probe that re-admits them). Called from
+	// the audit loop — must be cheap and safe for concurrent use.
+	Avoid func(identity.NodeID) bool
 	// Strategy selects the next responder; nil means WPS (Alg. 1).
 	Strategy SelectionStrategy
 	// RNG breaks selection ties; nil keeps runs deterministic.
@@ -319,9 +326,13 @@ func (v *Validator) runTPS(path []PathStep, vouchers *voucherSet, dead map[diges
 
 // candidates computes N' for the current verifying node: its physical
 // neighbors minus already-tried, rolled-back and blacklisted nodes.
+// Avoided peers (ValidatorConfig.Avoid) are then filtered out only
+// when at least one non-avoided candidate remains — suspicion routes
+// around a peer but never makes consensus unreachable.
 func (v *Validator) candidates(cur identity.NodeID, tried, excluded map[identity.NodeID]bool) []identity.NodeID {
 	nbs := v.cfg.Topo.Neighbors(cur)
-	out := nbs[:0]
+	eligible := nbs[:0]
+	nonAvoided := 0
 	for _, nb := range nbs {
 		if tried[nb] || excluded[nb] {
 			continue
@@ -329,7 +340,19 @@ func (v *Validator) candidates(cur identity.NodeID, tried, excluded map[identity
 		if v.cfg.Blacklist != nil && v.cfg.Blacklist.Banned(nb) {
 			continue
 		}
-		out = append(out, nb)
+		if v.cfg.Avoid == nil || !v.cfg.Avoid(nb) {
+			nonAvoided++
+		}
+		eligible = append(eligible, nb)
+	}
+	if nonAvoided == 0 || nonAvoided == len(eligible) {
+		return eligible
+	}
+	out := eligible[:0]
+	for _, nb := range eligible {
+		if !v.cfg.Avoid(nb) {
+			out = append(out, nb)
+		}
 	}
 	return out
 }

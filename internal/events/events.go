@@ -17,6 +17,21 @@
 //   - ConsensusReached     — an audit collected γ+1 distinct vouchers.
 //   - AuditFailed          — an audit ended without consensus.
 //
+// The robustness substrate adds four fault-path kinds, emitted only
+// when something goes wrong on the wire (zero events on the fault-free
+// hot path):
+//
+//   - MessageDropped — a frame was lost: inbox backpressure, a send
+//     error to an unreachable peer, or an injected fault
+//     (internal/faults).
+//   - RetryAttempted — a sender re-issued an announcement frame or a
+//     PoP RPC after a failed or unacknowledged attempt.
+//   - PeerSuspected  — a node's health tracker opened the circuit on a
+//     peer after consecutive transport failures; audits route around
+//     it until a recovery probe succeeds.
+//   - PeerRecovered  — a recovery probe succeeded and the peer was
+//     re-admitted.
+//
 // Observers may be invoked concurrently from generation and audit
 // worker pools; implementations must be safe for concurrent use.
 // Observer calls sit on protocol hot paths — keep them cheap and
@@ -91,6 +106,80 @@ type AuditFailed struct {
 	Err       error
 }
 
+// DropReason classifies why a frame was lost.
+type DropReason uint8
+
+const (
+	// DropBackpressure: the receiver's inbox was full (transport
+	// ErrBackpressure, on either fabric).
+	DropBackpressure DropReason = iota + 1
+	// DropUnreachable: the send failed outright — a dead dial target, a
+	// reset connection, or a closed transport.
+	DropUnreachable
+	// DropInjected: an injected fault (internal/faults drop rate).
+	DropInjected
+	// DropPartition: an injected per-slot partition cut the link.
+	DropPartition
+	// DropCrash: the sender or receiver was inside an injected crash
+	// window.
+	DropCrash
+)
+
+// String names the reason for logs and metrics.
+func (r DropReason) String() string {
+	switch r {
+	case DropBackpressure:
+		return "backpressure"
+	case DropUnreachable:
+		return "unreachable"
+	case DropInjected:
+		return "injected"
+	case DropPartition:
+		return "partition"
+	case DropCrash:
+		return "crash"
+	default:
+		return "unknown"
+	}
+}
+
+// MessageDropped reports one lost frame: From never reached To. It
+// fires on whichever side observed the loss — the sender for send
+// errors and injected faults, the receiver for inbound backpressure —
+// so a frame is counted once per loss, and a retried frame that is
+// lost again counts again.
+type MessageDropped struct {
+	From, To identity.NodeID
+	// Kind is the wire kind of the lost frame (wire.Kind values; kept
+	// as a raw byte so the event vocabulary stays codec-independent).
+	Kind   uint8
+	Reason DropReason
+}
+
+// RetryAttempted reports that Node re-issued traffic to Peer after a
+// failed or unacknowledged attempt: an announcement frame (Announce
+// true) or a PoP request. Attempt counts from 2 — the first try is not
+// an event.
+type RetryAttempted struct {
+	Node, Peer identity.NodeID
+	Announce   bool
+	Attempt    int
+}
+
+// PeerSuspected reports that Node's health tracker opened the circuit
+// on Peer after Failures consecutive transport failures; Node's audits
+// route around Peer until a recovery probe succeeds.
+type PeerSuspected struct {
+	Node, Peer identity.NodeID
+	Failures   int
+}
+
+// PeerRecovered reports that a recovery probe from Node to Peer
+// succeeded and Peer was re-admitted to Node's routing.
+type PeerRecovered struct {
+	Node, Peer identity.NodeID
+}
+
 // Observer receives the typed event stream. Implementations must be
 // safe for concurrent use; embed Nop to only handle the kinds you care
 // about.
@@ -101,6 +190,10 @@ type Observer interface {
 	OnAuditHop(AuditHop)
 	OnConsensusReached(ConsensusReached)
 	OnAuditFailed(AuditFailed)
+	OnMessageDropped(MessageDropped)
+	OnRetryAttempted(RetryAttempted)
+	OnPeerSuspected(PeerSuspected)
+	OnPeerRecovered(PeerRecovered)
 }
 
 // Nop is an Observer that ignores every event. Embed it to implement
@@ -113,6 +206,10 @@ func (Nop) OnDigestBatchDelivered(DigestBatchDelivered) {}
 func (Nop) OnAuditHop(AuditHop)                         {}
 func (Nop) OnConsensusReached(ConsensusReached)         {}
 func (Nop) OnAuditFailed(AuditFailed)                   {}
+func (Nop) OnMessageDropped(MessageDropped)             {}
+func (Nop) OnRetryAttempted(RetryAttempted)             {}
+func (Nop) OnPeerSuspected(PeerSuspected)               {}
+func (Nop) OnPeerRecovered(PeerRecovered)               {}
 
 // multi fans one event stream out to several observers, in order.
 type multi []Observer
@@ -150,6 +247,30 @@ func (m multi) OnConsensusReached(e ConsensusReached) {
 func (m multi) OnAuditFailed(e AuditFailed) {
 	for _, o := range m {
 		o.OnAuditFailed(e)
+	}
+}
+
+func (m multi) OnMessageDropped(e MessageDropped) {
+	for _, o := range m {
+		o.OnMessageDropped(e)
+	}
+}
+
+func (m multi) OnRetryAttempted(e RetryAttempted) {
+	for _, o := range m {
+		o.OnRetryAttempted(e)
+	}
+}
+
+func (m multi) OnPeerSuspected(e PeerSuspected) {
+	for _, o := range m {
+		o.OnPeerSuspected(e)
+	}
+}
+
+func (m multi) OnPeerRecovered(e PeerRecovered) {
+	for _, o := range m {
+		o.OnPeerRecovered(e)
 	}
 }
 

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"sync"
+
+	"github.com/twoldag/twoldag/internal/events"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// DefaultSuspectThreshold is the consecutive-failure count that opens
+// a peer's circuit. It is deliberately below the blacklist's ban
+// threshold (3 strikes, Sec. IV-D6): a flaky-but-honest peer gets
+// routed around before it can accumulate enough audit timeouts to be
+// banned outright, and bans are what the protocol reserves for
+// adversarial behavior.
+const DefaultSuspectThreshold = 2
+
+// Health is one node's per-peer circuit breaker. Transport failures
+// (send errors, PoP timeouts) count consecutively per peer; crossing
+// the threshold marks the peer suspected, and audits route around
+// suspected peers (core.ValidatorConfig.Avoid) while announcements
+// keep flowing to them — broadcast digests are cheap, and each one
+// doubles as a recovery probe. Any subsequent success (a send that
+// goes through, a PoP reply) closes the circuit and re-admits the
+// peer.
+//
+// Suspicion is local, advisory state: it never feeds the blacklist,
+// never blocks inbound traffic, and resets on the first success, so a
+// healthy network converges back to full routing with no operator
+// action.
+type Health struct {
+	node      identity.NodeID
+	threshold int
+	obs       events.Observer
+
+	mu       sync.Mutex
+	failures map[identity.NodeID]int
+	suspects map[identity.NodeID]struct{}
+}
+
+// NewHealth builds the tracker for node. threshold <= 0 selects
+// DefaultSuspectThreshold. obs, when non-nil, receives PeerSuspected
+// and PeerRecovered transitions.
+func NewHealth(node identity.NodeID, threshold int, obs events.Observer) *Health {
+	if threshold <= 0 {
+		threshold = DefaultSuspectThreshold
+	}
+	return &Health{
+		node:      node,
+		threshold: threshold,
+		obs:       obs,
+		failures:  make(map[identity.NodeID]int),
+		suspects:  make(map[identity.NodeID]struct{}),
+	}
+}
+
+// ReportFailure records one failed interaction with peer. Crossing the
+// consecutive-failure threshold opens the circuit (emitting
+// PeerSuspected once per opening).
+func (h *Health) ReportFailure(peer identity.NodeID) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	n := h.failures[peer] + 1
+	h.failures[peer] = n
+	opened := false
+	if _, sus := h.suspects[peer]; !sus && n >= h.threshold {
+		h.suspects[peer] = struct{}{}
+		opened = true
+	}
+	h.mu.Unlock()
+	if opened && h.obs != nil {
+		h.obs.OnPeerSuspected(events.PeerSuspected{Node: h.node, Peer: peer, Failures: n})
+	}
+}
+
+// ReportSuccess records one successful interaction with peer, clearing
+// its failure streak and closing its circuit (emitting PeerRecovered
+// when it was open).
+func (h *Health) ReportSuccess(peer identity.NodeID) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	recovered := false
+	if _, sus := h.suspects[peer]; sus {
+		delete(h.suspects, peer)
+		recovered = true
+	}
+	if h.failures[peer] != 0 {
+		delete(h.failures, peer)
+	}
+	h.mu.Unlock()
+	if recovered && h.obs != nil {
+		h.obs.OnPeerRecovered(events.PeerRecovered{Node: h.node, Peer: peer})
+	}
+}
+
+// Suspected reports whether peer's circuit is open. Safe to pass as
+// core.ValidatorConfig.Avoid.
+func (h *Health) Suspected(peer identity.NodeID) bool {
+	if h == nil {
+		return false
+	}
+	h.mu.Lock()
+	_, sus := h.suspects[peer]
+	h.mu.Unlock()
+	return sus
+}
+
+// SuspectCount returns the number of currently open circuits.
+func (h *Health) SuspectCount() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.suspects)
+}

@@ -1,0 +1,88 @@
+package faults_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/twoldag/twoldag/internal/faults"
+)
+
+func TestRetryPolicyZeroValueDisabled(t *testing.T) {
+	var p faults.RetryPolicy
+	if p.Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("zero policy invalid: %v", err)
+	}
+	if d := p.Backoff(5, 1); d != 0 {
+		t.Fatalf("disabled policy backs off %v", d)
+	}
+}
+
+func TestRetryPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    faults.RetryPolicy
+	}{
+		{"zero base delay", faults.RetryPolicy{MaxAttempts: 3}},
+		{"negative max delay", faults.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: -1}},
+		{"jitter above one", faults.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: 1.5}},
+		{"negative jitter", faults.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, Jitter: -0.1}},
+	}
+	for _, tc := range cases {
+		if err := tc.p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted the policy", tc.name)
+		}
+	}
+	if err := faults.DefaultRetryPolicy().Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+}
+
+func TestBackoffExponentialAndCapped(t *testing.T) {
+	p := faults.RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Millisecond}
+	for attempt, want := range map[int]time.Duration{
+		1: 0, // first try never waits
+		2: 10 * time.Millisecond,
+		3: 20 * time.Millisecond,
+		4: 40 * time.Millisecond,
+		5: 80 * time.Millisecond,
+	} {
+		if got := p.Backoff(attempt, 1); got != want {
+			t.Errorf("Backoff(%d) = %v, want %v", attempt, got, want)
+		}
+	}
+	p.MaxDelay = 25 * time.Millisecond
+	for _, attempt := range []int{4, 5, 8} {
+		if got := p.Backoff(attempt, 1); got != 25*time.Millisecond {
+			t.Errorf("capped Backoff(%d) = %v, want 25ms", attempt, got)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	p := faults.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond, Jitter: 0.5, Seed: 42}
+	// Same (seed, key, attempt) — same wait, every time.
+	if a, b := p.Backoff(3, 7), p.Backoff(3, 7); a != b {
+		t.Fatalf("jitter nondeterministic: %v vs %v", a, b)
+	}
+	// Full backoff for attempt 3 is 20ms; jitter 0.5 keeps the wait in
+	// [10ms, 20ms].
+	lo, hi := 10*time.Millisecond, 20*time.Millisecond
+	varied := false
+	var prev time.Duration
+	for key := uint64(0); key < 16; key++ {
+		d := p.Backoff(3, key)
+		if d < lo || d > hi {
+			t.Fatalf("Backoff(3, %d) = %v outside [%v, %v]", key, d, lo, hi)
+		}
+		if key > 0 && d != prev {
+			varied = true
+		}
+		prev = d
+	}
+	if !varied {
+		t.Fatal("jitter identical across 16 keys — streams not decorrelated")
+	}
+}

@@ -23,6 +23,10 @@ type EventCounters struct {
 	auditHops        atomic.Int64
 	consensusReached atomic.Int64
 	auditsFailed     atomic.Int64
+	messagesDropped  atomic.Int64
+	retriesAttempted atomic.Int64
+	peersSuspected   atomic.Int64
+	peersRecovered   atomic.Int64
 }
 
 var _ events.Observer = (*EventCounters)(nil)
@@ -51,6 +55,18 @@ func (c *EventCounters) OnConsensusReached(events.ConsensusReached) { c.consensu
 // OnAuditFailed implements events.Observer.
 func (c *EventCounters) OnAuditFailed(events.AuditFailed) { c.auditsFailed.Add(1) }
 
+// OnMessageDropped implements events.Observer.
+func (c *EventCounters) OnMessageDropped(events.MessageDropped) { c.messagesDropped.Add(1) }
+
+// OnRetryAttempted implements events.Observer.
+func (c *EventCounters) OnRetryAttempted(events.RetryAttempted) { c.retriesAttempted.Add(1) }
+
+// OnPeerSuspected implements events.Observer.
+func (c *EventCounters) OnPeerSuspected(events.PeerSuspected) { c.peersSuspected.Add(1) }
+
+// OnPeerRecovered implements events.Observer.
+func (c *EventCounters) OnPeerRecovered(events.PeerRecovered) { c.peersRecovered.Add(1) }
+
 // BlocksSealed returns the number of BlockSealed events observed.
 func (c *EventCounters) BlocksSealed() int64 { return c.blocksSealed.Load() }
 
@@ -75,6 +91,22 @@ func (c *EventCounters) DigestBatchesDelivered() int64 { return c.digestBatches.
 // not.
 func (c *EventCounters) Audits() int64 { return c.consensusReached.Load() + c.auditsFailed.Load() }
 
+// MessagesDropped returns the number of observed frame losses
+// (backpressure, unreachable peers, injected faults).
+func (c *EventCounters) MessagesDropped() int64 { return c.messagesDropped.Load() }
+
+// RetriesAttempted returns the number of re-issued announcement frames
+// and PoP requests (first attempts are not retries).
+func (c *EventCounters) RetriesAttempted() int64 { return c.retriesAttempted.Load() }
+
+// PeersSuspected returns the number of circuit-breaker openings
+// (consecutive transport failures crossing the suspicion threshold).
+func (c *EventCounters) PeersSuspected() int64 { return c.peersSuspected.Load() }
+
+// PeersRecovered returns the number of successful recovery probes
+// re-admitting a suspected peer.
+func (c *EventCounters) PeersRecovered() int64 { return c.peersRecovered.Load() }
+
 // WritePrometheus writes the counters in the Prometheus text
 // exposition format (version 0.0.4), making the typed observer stream
 // scrapeable: point a collector at any io.Writer-backed endpoint and
@@ -93,6 +125,10 @@ func (c *EventCounters) WritePrometheus(w io.Writer) error {
 		{"twoldag_audit_hops_total", "REQ_CHILD probes issued by PoP validators.", c.AuditHops()},
 		{"twoldag_consensus_reached_total", "Audits that collected gamma+1 distinct vouchers.", c.ConsensusReached()},
 		{"twoldag_audits_failed_total", "Audits that ended without consensus.", c.AuditsFailed()},
+		{"twoldag_messages_dropped_total", "Frames lost to backpressure, unreachable peers or injected faults.", c.MessagesDropped()},
+		{"twoldag_retries_attempted_total", "Announcement frames and PoP requests re-issued after a failed attempt.", c.RetriesAttempted()},
+		{"twoldag_peers_suspected_total", "Circuit-breaker openings after consecutive transport failures.", c.PeersSuspected()},
+		{"twoldag_peers_recovered_total", "Recovery probes that re-admitted a suspected peer.", c.PeersRecovered()},
 	} {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			m.name, m.help, m.name, m.name, m.value); err != nil {

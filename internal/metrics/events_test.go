@@ -41,6 +41,11 @@ func TestWritePrometheusGolden(t *testing.T) {
 	c.OnAuditHop(events.AuditHop{})
 	c.OnConsensusReached(events.ConsensusReached{})
 	c.OnAuditFailed(events.AuditFailed{})
+	c.OnMessageDropped(events.MessageDropped{Reason: events.DropBackpressure})
+	c.OnMessageDropped(events.MessageDropped{Reason: events.DropInjected})
+	c.OnRetryAttempted(events.RetryAttempted{Attempt: 2})
+	c.OnPeerSuspected(events.PeerSuspected{Failures: 2})
+	c.OnPeerRecovered(events.PeerRecovered{})
 
 	var sb strings.Builder
 	if err := c.WritePrometheus(&sb); err != nil {
@@ -64,6 +69,18 @@ twoldag_consensus_reached_total 1
 # HELP twoldag_audits_failed_total Audits that ended without consensus.
 # TYPE twoldag_audits_failed_total counter
 twoldag_audits_failed_total 1
+# HELP twoldag_messages_dropped_total Frames lost to backpressure, unreachable peers or injected faults.
+# TYPE twoldag_messages_dropped_total counter
+twoldag_messages_dropped_total 2
+# HELP twoldag_retries_attempted_total Announcement frames and PoP requests re-issued after a failed attempt.
+# TYPE twoldag_retries_attempted_total counter
+twoldag_retries_attempted_total 1
+# HELP twoldag_peers_suspected_total Circuit-breaker openings after consecutive transport failures.
+# TYPE twoldag_peers_suspected_total counter
+twoldag_peers_suspected_total 1
+# HELP twoldag_peers_recovered_total Recovery probes that re-admitted a suspected peer.
+# TYPE twoldag_peers_recovered_total counter
+twoldag_peers_recovered_total 1
 `
 	if got := sb.String(); got != want {
 		t.Fatalf("exposition diverged from golden output:\n--- got ---\n%s\n--- want ---\n%s", got, want)

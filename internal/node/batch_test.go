@@ -17,20 +17,27 @@ import (
 )
 
 // batchRecorder captures receiver-side batch deliveries (copying the
-// shared slices, as the event contract requires).
+// shared slices, as the event contract requires) and signals each one
+// so tests can wait event-driven instead of polling caches.
 type batchRecorder struct {
 	events.Nop
 	mu      sync.Mutex
 	batches map[identity.NodeID][][]digest.Digest // by receiver
+	ch      chan identity.NodeID
+}
+
+func newBatchRecorder() *batchRecorder {
+	return &batchRecorder{ch: make(chan identity.NodeID, 64)}
 }
 
 func (r *batchRecorder) OnDigestBatchDelivered(e events.DigestBatchDelivered) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.batches == nil {
 		r.batches = make(map[identity.NodeID][][]digest.Digest)
 	}
 	r.batches[e.To] = append(r.batches[e.To], append([]digest.Digest(nil), e.Digests...))
+	r.mu.Unlock()
+	r.ch <- e.To
 }
 
 // TestAnnounceBatchCoalesces seals a run of blocks on one node and
@@ -51,7 +58,7 @@ func TestAnnounceBatchCoalesces(t *testing.T) {
 	}
 	netw := transport.NewNetwork()
 	defer netw.Close()
-	rec := &batchRecorder{}
+	rec := newBatchRecorder()
 	nodes := make(map[identity.NodeID]*Node)
 	for _, kp := range pairs {
 		ep, err := netw.Endpoint(kp.ID)
@@ -81,18 +88,20 @@ func TestAnnounceBatchCoalesces(t *testing.T) {
 	}
 	nodes[origin].AnnounceBatch(context.Background(), ds)
 
+	// Event-driven wait: one DigestBatchDelivered per neighbor. The
+	// event fires after the batch entered A_i, so by the time both
+	// arrive the caches are already final.
+	for pending := len(g.Neighbors(origin)); pending > 0; pending-- {
+		select {
+		case <-rec.ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of %d neighbors ingested the batch", len(g.Neighbors(origin))-pending, len(g.Neighbors(origin)))
+		}
+	}
 	newest := ds[len(ds)-1]
-	deadline := time.Now().Add(2 * time.Second)
 	for _, nb := range g.Neighbors(origin) {
-		for {
-			got, ok := nodes[nb].Engine().Cache().Get(origin)
-			if ok && got == newest {
-				break
-			}
-			if time.Now().After(deadline) {
-				t.Fatalf("batched digests from %v never reached %v", origin, nb)
-			}
-			time.Sleep(time.Millisecond)
+		if got, ok := nodes[nb].Engine().Cache().Get(origin); !ok || got != newest {
+			t.Fatalf("receiver %v cache did not end on the newest digest", nb)
 		}
 	}
 	rec.mu.Lock()
@@ -129,10 +138,12 @@ func TestBatchCountsAgainstRateGuard(t *testing.T) {
 	}
 	netw := transport.NewNetwork()
 	defer netw.Close()
+	log := newDeliveryLog()
 	epB, _ := netw.Endpoint(1)
 	nodeB, err := New(Config{
 		Key: kpB, Params: params, Topo: g, Ring: ring, Transport: epB,
 		Gamma: 1, AnnounceWindow: time.Second, AnnounceLimit: 5,
+		Observer: log,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -141,20 +152,26 @@ func TestBatchCountsAgainstRateGuard(t *testing.T) {
 
 	epA, _ := netw.Endpoint(0)
 	defer epA.Close()
+	epC, _ := netw.Endpoint(2)
+	defer epC.Close()
+	ctx := context.Background()
 	var flood []digest.Digest
 	for i := 0; i < 50; i++ {
 		flood = append(flood, digest.Sum([]byte{byte(i)}))
 	}
 	msg := wire.NewDigestBatch(0, 1, flood, 1)
-	if err := epA.Send(context.Background(), 1, msg); err != nil {
+	if err := epA.Send(ctx, 1, msg); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for !nodeB.Blacklist().Banned(0) {
-		if time.Now().After(deadline) {
-			t.Fatal("batch flooder never banned")
-		}
-		time.Sleep(5 * time.Millisecond)
+	// Sentinel from B's other neighbor: FIFO inbox plus serial dispatch
+	// means its ingest event proves the flood frame was already judged.
+	sentinel := digest.Sum([]byte("batch sentinel"))
+	if err := epC.Send(ctx, 1, wire.NewDigestAnnounce(2, 1, sentinel, 2)); err != nil {
+		t.Fatal(err)
+	}
+	log.wait(t, 2, 1, sentinel)
+	if !nodeB.Blacklist().Banned(0) {
+		t.Fatal("batch flooder never banned")
 	}
 	if _, ok := nodeB.Engine().Cache().Get(0); ok {
 		t.Fatal("over-limit batch still updated the digest cache")

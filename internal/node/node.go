@@ -23,6 +23,7 @@ import (
 	"github.com/twoldag/twoldag/internal/core"
 	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/events"
+	"github.com/twoldag/twoldag/internal/faults"
 	"github.com/twoldag/twoldag/internal/identity"
 	"github.com/twoldag/twoldag/internal/ledger"
 	"github.com/twoldag/twoldag/internal/topology"
@@ -54,6 +55,16 @@ type Config struct {
 	// AnnounceWindow bans the sender (0 values disable the guard).
 	AnnounceWindow time.Duration
 	AnnounceLimit  int
+	// Retry bounds re-transmission of PoP requests (REQ_CHILD,
+	// GET_BLOCK): each failed call backs off and retries up to
+	// Retry.MaxAttempts before the validator gives up on the peer. The
+	// zero value disables retries — the baseline behavior, where one
+	// timeout moves the validator to the next candidate.
+	Retry faults.RetryPolicy
+	// Health, when non-nil, is the node's per-peer circuit breaker:
+	// transport failures feed it, audits route around peers it
+	// suspects, and any later success re-admits them.
+	Health *faults.Health
 	// Observer, when non-nil, receives the node's typed event stream
 	// (block seals, accepted digest deliveries, audit hops and
 	// outcomes). Called from transport and audit goroutines — must be
@@ -77,6 +88,15 @@ type Node struct {
 	// needed, and the event contract lets observers see it only for
 	// the duration of the call.
 	batchFrom []identity.NodeID
+
+	// seen is the idempotent-receive guard: per sender, the recent
+	// digests already ingested into A_i. A re-delivered digest —
+	// a retry, an injected duplicate, a delayed copy arriving after
+	// newer announcements — is discarded before the DoS guard charges
+	// the sender and before the latest-wins cache could regress to a
+	// stale entry. Like batchFrom it is only touched from the dispatch
+	// goroutine, so no lock is needed.
+	seen map[identity.NodeID]*seenRing
 
 	slot func() uint32
 
@@ -103,6 +123,7 @@ func New(cfg Config) (*Node, error) {
 		engine:   eng,
 		bl:       ledger.NewBlacklist(0, 0),
 		lastAnns: make(map[identity.NodeID][]time.Time),
+		seen:     make(map[identity.NodeID]*seenRing),
 		slot:     wallClockSlot,
 	}
 	n.rpc = transport.NewRPC(cfg.Transport, n.handle, cfg.RequestTimeout)
@@ -127,6 +148,60 @@ func (n *Node) Engine() *core.Engine { return n.engine }
 
 // Blacklist exposes the node's penalty book (Sec. IV-D6).
 func (n *Node) Blacklist() *ledger.Blacklist { return n.bl }
+
+// dedupWindow bounds the per-sender idempotent-receive memory. A
+// duplicate can only trail its original by the fabric's maximum delay,
+// during which a sender seals at most a handful of digests, so a short
+// window suffices; the window only needs to outlive the oldest copy
+// still in flight.
+const dedupWindow = 64
+
+// seenRing remembers the last dedupWindow digests ingested from one
+// sender: O(1) membership via the index map, O(1) eviction via the
+// ring.
+type seenRing struct {
+	ring [dedupWindow]digest.Digest
+	idx  map[digest.Digest]struct{}
+	n    int
+}
+
+func newSeenRing() *seenRing {
+	return &seenRing{idx: make(map[digest.Digest]struct{}, dedupWindow)}
+}
+
+func (r *seenRing) has(d digest.Digest) bool {
+	_, ok := r.idx[d]
+	return ok
+}
+
+func (r *seenRing) add(d digest.Digest) {
+	if r.has(d) {
+		return
+	}
+	slot := r.n % dedupWindow
+	if r.n >= dedupWindow {
+		delete(r.idx, r.ring[slot])
+	}
+	r.ring[slot] = d
+	r.idx[d] = struct{}{}
+	r.n++
+}
+
+// seenBefore reports whether from already delivered d.
+func (n *Node) seenBefore(from identity.NodeID, d digest.Digest) bool {
+	r, ok := n.seen[from]
+	return ok && r.has(d)
+}
+
+// markSeen records d as ingested from from.
+func (n *Node) markSeen(from identity.NodeID, d digest.Digest) {
+	r, ok := n.seen[from]
+	if !ok {
+		r = newSeenRing()
+		n.seen[from] = r
+	}
+	r.add(d)
+}
 
 // handle serves unsolicited messages: digest announcements and
 // responder duties.
@@ -156,16 +231,21 @@ func (n *Node) handle(env transport.Envelope) {
 	}
 }
 
-// onAnnounce ingests a digest announcement, applying the DoS rate
-// guard before accepting it into A_i.
+// onAnnounce ingests a digest announcement: idempotent-receive dedup
+// first (re-deliveries are free and side-effect-less), then the DoS
+// rate guard, then A_i.
 func (n *Node) onAnnounce(msg *wire.Message) {
 	from := msg.From
+	if n.seenBefore(from, msg.Digest) {
+		return // duplicate or retry of an ingested digest
+	}
 	if !n.announceAllowed(from, 1) {
 		return
 	}
 	if err := n.engine.OnDigest(from, msg.Digest); err != nil {
 		return // non-neighbors rejected inside
 	}
+	n.markSeen(from, msg.Digest)
 	if obs := n.cfg.Observer; obs != nil {
 		// Receiver-side event: the digest is now in A_i, so the sender
 		// can treat this as a delivery acknowledgement.
@@ -190,19 +270,34 @@ func (n *Node) onAnnounceBatch(msg *wire.Message) {
 	if err != nil || len(ds) == 0 {
 		return // malformed or empty frames are dropped
 	}
-	if !n.announceAllowed(from, len(ds)) {
+	// Idempotent receive: drop already-ingested digests from the frame
+	// (in place, preserving seal order) so a re-delivered batch neither
+	// re-charges the rate guard nor regresses the latest-wins cache.
+	fresh := ds[:0]
+	for _, d := range ds {
+		if !n.seenBefore(from, d) {
+			fresh = append(fresh, d)
+		}
+	}
+	if len(fresh) == 0 {
+		return // pure duplicate frame
+	}
+	if !n.announceAllowed(from, len(fresh)) {
 		return
 	}
-	if err := n.engine.OnDigestsFrom(from, ds); err != nil {
+	if err := n.engine.OnDigestsFrom(from, fresh); err != nil {
 		return // non-neighbors rejected inside
+	}
+	for _, d := range fresh {
+		n.markSeen(from, d)
 	}
 	if obs := n.cfg.Observer; obs != nil {
 		froms := n.batchFrom[:0]
-		for range ds {
+		for range fresh {
 			froms = append(froms, from)
 		}
 		n.batchFrom = froms
-		obs.OnDigestBatchDelivered(events.DigestBatchDelivered{To: n.ID(), From: froms, Digests: ds})
+		obs.OnDigestBatchDelivered(events.DigestBatchDelivered{To: n.ID(), From: froms, Digests: fresh})
 	}
 }
 
@@ -271,16 +366,47 @@ func (n *Node) GenerateLocal(body []byte) (*block.Block, digest.Digest, error) {
 	return b, d, nil
 }
 
+// sendAnnounce pushes one announcement frame to nb, feeding the
+// health tracker and surfacing the loss as a MessageDropped event when
+// the fabric reports one (sender-side backpressure or an unreachable
+// peer). Caller cancellation is not a peer failure.
+func (n *Node) sendAnnounce(ctx context.Context, nb identity.NodeID, msg *wire.Message) {
+	err := n.rpc.Transport().Send(ctx, nb, msg)
+	if err == nil {
+		n.cfg.Health.ReportSuccess(nb)
+		return
+	}
+	if ctx.Err() != nil {
+		return
+	}
+	n.cfg.Health.ReportFailure(nb)
+	if obs := n.cfg.Observer; obs != nil {
+		reason := events.DropUnreachable
+		if errors.Is(err, transport.ErrBackpressure) {
+			reason = events.DropBackpressure
+		}
+		obs.OnMessageDropped(events.MessageDropped{
+			From: n.ID(), To: nb, Kind: uint8(msg.Kind), Reason: reason,
+		})
+	}
+}
+
 // Announce broadcasts a sealed block's digest to every radio neighbor
 // (Sec. III-D). Losses are tolerated: neighbors that miss the digest
 // pick up the next one (A_i keeps only the latest anyway).
 func (n *Node) Announce(ctx context.Context, d digest.Digest) {
 	for _, nb := range n.cfg.Topo.Neighbors(n.ID()) {
-		msg := wire.NewDigestAnnounce(n.ID(), nb, d, n.rpc.NextNonce())
-		if err := n.rpc.Transport().Send(ctx, nb, msg); err != nil {
-			continue
-		}
+		n.AnnounceTo(ctx, nb, d)
 	}
+}
+
+// AnnounceTo sends one digest announcement to a single neighbor — the
+// targeted re-transmission path: a retrying submitter re-announces
+// only to the neighbors whose acknowledgement is still missing.
+// Receivers dedup on the digest, so re-sending an already-delivered
+// digest is free and side-effect-less.
+func (n *Node) AnnounceTo(ctx context.Context, nb identity.NodeID, d digest.Digest) {
+	n.sendAnnounce(ctx, nb, wire.NewDigestAnnounce(n.ID(), nb, d, n.rpc.NextNonce()))
 }
 
 // AnnounceBatch broadcasts a run of sealed digests (in seal order) to
@@ -289,6 +415,13 @@ func (n *Node) Announce(ctx context.Context, d digest.Digest) {
 // of one per digest. A single digest falls back to the singleton
 // DigestAnnounce frame. Losses are tolerated exactly as with
 // Announce.
+//
+// Retry/idempotency contract: announcement delivery is at-least-once
+// when a caller retries (AnnounceTo) and exactly-once in effect —
+// every receiver dedups on the digest before any side effect, so a
+// re-sent or duplicated frame never double-charges the Sec. IV-D5
+// rate guard, never regresses A_i's latest-wins entry, and never
+// re-fires the delivery acknowledgement event.
 func (n *Node) AnnounceBatch(ctx context.Context, ds []digest.Digest) {
 	switch len(ds) {
 	case 0:
@@ -305,9 +438,7 @@ func (n *Node) AnnounceBatch(ctx context.Context, ds []digest.Digest) {
 	for _, nb := range n.cfg.Topo.Neighbors(n.ID()) {
 		msg.To = nb
 		msg.Nonce = n.rpc.NextNonce()
-		if err := n.rpc.Transport().Send(ctx, nb, msg); err != nil {
-			continue
-		}
+		n.sendAnnounce(ctx, nb, msg)
 	}
 }
 
@@ -317,6 +448,12 @@ func (n *Node) Audit(ctx context.Context, ref block.Ref) (*core.Result, error) {
 	v, err := n.engine.Validator(n.cfg.Gamma, n.cfg.Ring, func(c *core.ValidatorConfig) {
 		c.Strategy = n.cfg.Strategy
 		c.Blacklist = n.bl
+		if h := n.cfg.Health; h != nil {
+			// Route around peers the circuit breaker suspects; the
+			// filter is advisory (suspects remain last-resort
+			// candidates, which doubles as the recovery probe).
+			c.Avoid = h.Suspected
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -356,13 +493,54 @@ type rpcFetcher struct {
 
 var _ core.Fetcher = (*rpcFetcher)(nil)
 
+// call runs one PoP request against peer with the node's retry policy:
+// failed calls back off (exponential, deterministic jitter) and retry
+// up to Retry.MaxAttempts, feeding the health tracker on every
+// outcome. Safe to repeat because PoP requests are read-only and
+// correlation IDs are fresh per attempt — a late reply to an abandoned
+// attempt is dropped by the RPC layer.
+func (f *rpcFetcher) call(ctx context.Context, peer identity.NodeID, build func(corr, nonce uint64) *wire.Message) (*wire.Message, error) {
+	n := f.node
+	attempts := n.cfg.Retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		resp, err := n.rpc.Call(ctx, peer, build)
+		if err == nil {
+			n.cfg.Health.ReportSuccess(peer)
+			return resp, nil
+		}
+		if ctx.Err() == nil {
+			n.cfg.Health.ReportFailure(peer)
+		}
+		if attempt >= attempts || ctx.Err() != nil {
+			return nil, err
+		}
+		if wait := n.cfg.Retry.Backoff(attempt+1, uint64(peer)); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil, err
+			case <-timer.C:
+			}
+		}
+		if obs := n.cfg.Observer; obs != nil {
+			obs.OnRetryAttempted(events.RetryAttempted{
+				Node: n.ID(), Peer: peer, Announce: false, Attempt: attempt + 1,
+			})
+		}
+	}
+}
+
 // RequestChild implements core.Fetcher over REQ_CHILD/RPY_CHILD.
 func (f *rpcFetcher) RequestChild(ctx context.Context, j identity.NodeID, target digest.Digest) (*block.Header, error) {
 	self := f.node.ID()
 	if obs := f.node.cfg.Observer; obs != nil {
 		obs.OnAuditHop(events.AuditHop{Validator: self, Responder: j, Target: target})
 	}
-	resp, err := f.node.rpc.Call(ctx, j, func(corr, nonce uint64) *wire.Message {
+	resp, err := f.call(ctx, j, func(corr, nonce uint64) *wire.Message {
 		return wire.NewReqChild(self, j, target, corr, nonce)
 	})
 	if err != nil {
@@ -381,7 +559,7 @@ func (f *rpcFetcher) RequestChild(ctx context.Context, j identity.NodeID, target
 // FetchBlock implements core.Fetcher over GET_BLOCK/BLOCK_RESP.
 func (f *rpcFetcher) FetchBlock(ctx context.Context, ref block.Ref) (*block.Block, error) {
 	self := f.node.ID()
-	resp, err := f.node.rpc.Call(ctx, ref.Node, func(corr, nonce uint64) *wire.Message {
+	resp, err := f.call(ctx, ref.Node, func(corr, nonce uint64) *wire.Message {
 		return wire.NewGetBlock(self, ref.Node, ref, corr, nonce)
 	})
 	if err != nil {

@@ -3,16 +3,79 @@ package node
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/events"
 	"github.com/twoldag/twoldag/internal/identity"
 	"github.com/twoldag/twoldag/internal/topology"
 	"github.com/twoldag/twoldag/internal/transport"
 	"github.com/twoldag/twoldag/internal/wire"
 )
+
+// delivery is one observed digest ingest: from announced d, to cached
+// it.
+type delivery struct {
+	from, to identity.NodeID
+	d        digest.Digest
+}
+
+// deliveryLog is the event-driven replacement for the old sleep-poll
+// deadline loops: it records every receiver-side ingest event
+// (DigestAnnounced fires after A_i accepted the digest) and lets tests
+// block until a specific delivery happened, woken by the event itself
+// instead of a timer.
+type deliveryLog struct {
+	events.Nop
+	mu     sync.Mutex
+	seen   map[delivery]struct{}
+	signal chan struct{}
+}
+
+func newDeliveryLog() *deliveryLog {
+	return &deliveryLog{seen: make(map[delivery]struct{}), signal: make(chan struct{})}
+}
+
+func (l *deliveryLog) OnDigestAnnounced(e events.DigestAnnounced) {
+	l.record(delivery{e.From, e.To, e.Digest})
+}
+
+func (l *deliveryLog) OnDigestBatchDelivered(e events.DigestBatchDelivered) {
+	for i := range e.Digests {
+		l.record(delivery{e.From[i], e.To, e.Digests[i]})
+	}
+}
+
+func (l *deliveryLog) record(d delivery) {
+	l.mu.Lock()
+	l.seen[d] = struct{}{}
+	close(l.signal) // wake every waiter; each re-checks and re-arms
+	l.signal = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// wait blocks until from's announcement of d was ingested by to.
+func (l *deliveryLog) wait(t *testing.T, from, to identity.NodeID, d digest.Digest) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		l.mu.Lock()
+		_, ok := l.seen[delivery{from, to, d}]
+		sig := l.signal
+		l.mu.Unlock()
+		if ok {
+			return
+		}
+		select {
+		case <-sig:
+		case <-deadline:
+			t.Fatalf("digest from %v never reached %v", from, to)
+		}
+	}
+}
 
 // cluster spins up a live in-memory 2LDAG network over the given
 // topology.
@@ -21,6 +84,7 @@ type cluster struct {
 	net   *transport.Network
 	nodes map[identity.NodeID]*Node
 	topo  *topology.Graph
+	log   *deliveryLog
 	slot  uint32
 }
 
@@ -36,7 +100,7 @@ func newCluster(t *testing.T, g *topology.Graph, gamma int) *cluster {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := &cluster{t: t, net: transport.NewNetwork(), nodes: make(map[identity.NodeID]*Node), topo: g}
+	c := &cluster{t: t, net: transport.NewNetwork(), nodes: make(map[identity.NodeID]*Node), topo: g, log: newDeliveryLog()}
 	for _, kp := range pairs {
 		ep, err := c.net.Endpoint(kp.ID)
 		if err != nil {
@@ -50,6 +114,7 @@ func newCluster(t *testing.T, g *topology.Graph, gamma int) *cluster {
 			Transport:      ep,
 			Gamma:          gamma,
 			RequestTimeout: 500 * time.Millisecond,
+			Observer:       c.log,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -79,21 +144,12 @@ func (c *cluster) generate(id identity.NodeID) *block.Block {
 	return b
 }
 
-// waitForDigest polls neighbors' caches until the announcement landed.
+// waitForDigest blocks until every neighbor's ingest event fired for
+// the announcement (event-driven; no cache polling).
 func (c *cluster) waitForDigest(id identity.NodeID, d digest.Digest) {
 	c.t.Helper()
-	deadline := time.Now().Add(2 * time.Second)
 	for _, nb := range c.topo.Neighbors(id) {
-		for {
-			got, ok := c.nodes[nb].Engine().Cache().Get(id)
-			if ok && got == d {
-				break
-			}
-			if time.Now().After(deadline) {
-				c.t.Fatalf("digest from %v never reached %v", id, nb)
-			}
-			time.Sleep(time.Millisecond)
-		}
+		c.log.wait(c.t, id, nb, d)
 	}
 }
 
@@ -206,10 +262,12 @@ func TestDoSFlooderGetsBanned(t *testing.T) {
 	}
 	netw := transport.NewNetwork()
 	defer netw.Close()
+	log := newDeliveryLog()
 	epB, _ := netw.Endpoint(1)
 	nodeB, err := New(Config{
 		Key: kpB, Params: params, Topo: g, Ring: ring, Transport: epB,
 		Gamma: 1, AnnounceWindow: time.Second, AnnounceLimit: 5,
+		Observer: log,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -219,6 +277,8 @@ func TestDoSFlooderGetsBanned(t *testing.T) {
 	// The flooder (node A) blasts 50 digests directly.
 	epA, _ := netw.Endpoint(0)
 	defer epA.Close()
+	epC, _ := netw.Endpoint(2)
+	defer epC.Close()
 	ctx := context.Background()
 	for i := 0; i < 50; i++ {
 		msg := wire.NewDigestAnnounce(0, 1, digest.Sum([]byte{byte(i)}), uint64(i))
@@ -226,19 +286,28 @@ func TestDoSFlooderGetsBanned(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for !nodeB.Blacklist().Banned(0) {
-		if time.Now().After(deadline) {
-			t.Fatal("flooder never banned")
-		}
-		time.Sleep(5 * time.Millisecond)
+	// Sentinel: C (B's other neighbor) announces after the flood. The
+	// inbox is FIFO and dispatch is serial, so once the sentinel is
+	// ingested every flood frame has been judged — no ban polling.
+	sentinel := digest.Sum([]byte("sentinel 1"))
+	if err := epC.Send(ctx, 1, wire.NewDigestAnnounce(2, 1, sentinel, 100)); err != nil {
+		t.Fatal(err)
 	}
-	// Post-ban announcements must not update A_i.
+	log.wait(t, 2, 1, sentinel)
+	if !nodeB.Blacklist().Banned(0) {
+		t.Fatal("flooder never banned")
+	}
+	// Post-ban announcements must not update A_i; a second sentinel
+	// bounds the wait the same way.
 	final := digest.Sum([]byte("post-ban"))
 	if err := epA.Send(ctx, 1, wire.NewDigestAnnounce(0, 1, final, 99)); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	sentinel2 := digest.Sum([]byte("sentinel 2"))
+	if err := epC.Send(ctx, 1, wire.NewDigestAnnounce(2, 1, sentinel2, 101)); err != nil {
+		t.Fatal(err)
+	}
+	log.wait(t, 2, 1, sentinel2)
 	if got, ok := nodeB.Engine().Cache().Get(0); ok && got == final {
 		t.Fatal("banned flooder still updates the digest cache")
 	}
@@ -256,10 +325,17 @@ func TestNonNeighborAnnouncementIgnored(t *testing.T) {
 	defer ep.Close()
 	d := digest.Sum([]byte("forged"))
 	msg := wire.NewDigestAnnounce(4, 0, d, 1)
-	if err := ep.Send(context.Background(), 0, msg); err != nil {
+	ctx := context.Background()
+	if err := ep.Send(ctx, 0, msg); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	// Sentinel: a real neighbor announces after the forgery; FIFO
+	// dispatch means its ingest event proves the forged frame was
+	// already judged.
+	nb := c.topo.Neighbors(0)[0]
+	sentinel := digest.Sum([]byte("sentinel"))
+	c.nodes[nb].AnnounceTo(ctx, 0, sentinel)
+	c.log.wait(t, nb, 0, sentinel)
 	if _, ok := c.nodes[0].Engine().Cache().Get(4); ok {
 		t.Fatal("non-neighbor digest accepted")
 	}
@@ -294,12 +370,14 @@ func TestLiveClusterOverTCP(t *testing.T) {
 			}
 		}
 	}
+	log := newDeliveryLog()
 	nodes := make(map[identity.NodeID]*Node)
 	var slot uint32
 	for _, kp := range pairs {
 		n, err := New(Config{
 			Key: kp, Params: params, Topo: g, Ring: ring,
 			Transport: tcps[kp.ID], Gamma: 2, RequestTimeout: time.Second,
+			Observer: log,
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -320,19 +398,9 @@ func TestLiveClusterOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Wait for announcements to propagate over real sockets.
-		deadline := time.Now().Add(3 * time.Second)
+		// Wait for the ingest events to fire over real sockets.
 		for _, nb := range g.Neighbors(id) {
-			for {
-				got, ok := nodes[nb].Engine().Cache().Get(id)
-				if ok && got == b.Header.Hash() {
-					break
-				}
-				if time.Now().After(deadline) {
-					t.Fatalf("TCP digest %v -> %v never arrived", id, nb)
-				}
-				time.Sleep(2 * time.Millisecond)
-			}
+			log.wait(t, id, nb, b.Header.Hash())
 		}
 	}
 	slot = 1

@@ -39,6 +39,7 @@ type TCPNode struct {
 
 	stateMu sync.RWMutex
 	closed  bool
+	onDrop  func(Envelope)
 
 	wg sync.WaitGroup
 }
@@ -82,6 +83,17 @@ func (n *TCPNode) AddPeer(id identity.NodeID, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.addrs[id] = addr
+}
+
+// SetDropHandler installs a callback invoked for each inbound frame
+// lost to a full inbox (receiver-side backpressure, which TCP cannot
+// report to the sender). The envelope is only valid for the duration
+// of the call. Must be set before traffic flows; the handler runs on
+// read-loop goroutines and must be cheap and non-blocking.
+func (n *TCPNode) SetDropHandler(f func(Envelope)) {
+	n.stateMu.Lock()
+	defer n.stateMu.Unlock()
+	n.onDrop = f
 }
 
 // Self implements Transport.
@@ -152,7 +164,11 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		select {
 		case n.inbox <- Envelope{From: msg.From, Msg: msg}:
 		default:
-			// Lossy under overload, like the in-memory fabric.
+			// Lossy under overload, like the in-memory fabric; the drop
+			// handler lets the node surface it as a MessageDropped event.
+			if n.onDrop != nil {
+				n.onDrop(Envelope{From: msg.From, Msg: msg})
+			}
 		}
 		n.stateMu.RUnlock()
 	}
@@ -185,7 +201,7 @@ func (n *TCPNode) Send(ctx context.Context, to identity.NodeID, msg *wire.Messag
 	defer lc.mu.Unlock()
 	if _, err := lc.c.Write(b); err != nil {
 		n.dropConn(to)
-		return fmt.Errorf("transport: writing to %v: %w", to, err)
+		return fmt.Errorf("%w: writing to %v: %v", ErrPeerUnreachable, to, err)
 	}
 	return nil
 }
@@ -204,7 +220,10 @@ func (n *TCPNode) conn(ctx context.Context, to identity.NodeID) (*lockedConn, er
 	var d net.Dialer
 	c, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dialing %v at %s: %w", to, addr, err)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("transport: dialing %v at %s: %w", to, addr, ctx.Err())
+		}
+		return nil, fmt.Errorf("%w: dialing %v at %s: %v", ErrPeerUnreachable, to, addr, err)
 	}
 	lc := &lockedConn{c: c}
 	n.mu.Lock()

@@ -21,6 +21,12 @@ var (
 	ErrUnknownPeer   = errors.New("transport: unknown peer")
 	ErrDuplicatePeer = errors.New("transport: peer already registered")
 	ErrBackpressure  = errors.New("transport: peer inbox full, message dropped")
+	// ErrPeerUnreachable reports a peer that could not be reached at
+	// the link layer: a failed dial, a reset connection, a dead
+	// listener. Unlike ErrUnknownPeer (a directory miss, permanent
+	// until registration) it is transient — retry policies treat it as
+	// retryable and health trackers count it toward suspicion.
+	ErrPeerUnreachable = errors.New("transport: peer unreachable")
 )
 
 // Envelope is a received message with its link-layer sender.
@@ -30,12 +36,25 @@ type Envelope struct {
 }
 
 // Transport sends and receives wire messages for one node.
+//
+// Retry/idempotency contract: Send is best-effort and at-most-once at
+// this layer — a nil return means the frame was handed to the fabric,
+// not that the peer processed it, and an error return may still have
+// delivered (a TCP write can fail after bytes left the host). Callers
+// that need delivery therefore retry at the protocol layer, which is
+// safe because every 2LDAG receive path is idempotent: digest
+// announcements dedup on the digest before any side effect (see
+// node.AnnounceBatch), and request/response exchanges correlate by ID
+// so a re-sent request at worst produces an ignored duplicate reply.
+// Implementations must serialize msg before Send returns and never
+// retain it — callers may immediately reuse or retarget the message.
 type Transport interface {
 	// Self returns the local node ID.
 	Self() identity.NodeID
 	// Send delivers msg to the peer. Delivery is best-effort: lossy
-	// networks may drop (ErrBackpressure) and radio neighbors may be
-	// unreachable.
+	// networks may drop (ErrBackpressure), radio neighbors may be
+	// unreachable (ErrPeerUnreachable), and silent in-flight loss
+	// reports nothing at all.
 	Send(ctx context.Context, to identity.NodeID, msg *wire.Message) error
 	// Inbox streams received messages until the transport closes.
 	Inbox() <-chan Envelope

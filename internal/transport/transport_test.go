@@ -328,3 +328,100 @@ func TestTCPCloseIdempotent(t *testing.T) {
 		t.Fatalf("want ErrClosed, got %v", err)
 	}
 }
+
+func TestTCPDialDeadPeer(t *testing.T) {
+	// A directory entry pointing at a dead listener must fail the dial
+	// with the typed transient error, not hang or panic.
+	dead, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr()
+	if err := dead.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ListenTCP(1, "127.0.0.1:0", map[identity.NodeID]string{2: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	err = a.Send(context.Background(), 2, announce(1, 2, "x"))
+	if !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("want ErrPeerUnreachable dialing dead peer, got %v", err)
+	}
+}
+
+func TestTCPMidStreamReset(t *testing.T) {
+	// A peer dying after the connection is established must surface as
+	// ErrPeerUnreachable on a subsequent write — possibly after one
+	// buffered write that the kernel accepts before the RST lands.
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer(2, b.Addr())
+	if err := a.Send(context.Background(), 2, announce(1, 2, "warm")); err != nil {
+		t.Fatalf("warm-up send: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := a.Send(context.Background(), 2, announce(1, 2, "x"))
+		if errors.Is(err, ErrPeerUnreachable) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("want ErrPeerUnreachable after reset, got %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("writes to a dead peer kept succeeding")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestTCPInboundDropHandler(t *testing.T) {
+	// Receiver-side backpressure is invisible to a TCP sender; the drop
+	// handler must surface each frame lost to a full inbox.
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddPeer(2, b.Addr())
+	dropped := make(chan Envelope, 1)
+	b.SetDropHandler(func(env Envelope) {
+		select {
+		case dropped <- env:
+		default:
+		}
+	})
+	// Nobody drains b's inbox, so sends past its capacity must invoke
+	// the handler.
+	ctx := context.Background()
+	for i := 0; i < inboxCapacity+16; i++ {
+		if err := a.Send(ctx, 2, announce(1, 2, "flood")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	select {
+	case env := <-dropped:
+		if env.From != 1 {
+			t.Fatalf("dropped envelope from %v, want 1", env.From)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no inbound drop reported")
+	}
+}

@@ -3,6 +3,7 @@ package twoldag
 import (
 	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/events"
+	"github.com/twoldag/twoldag/internal/faults"
 )
 
 // Typed observer API. Both Runtime drivers emit the same structured
@@ -40,4 +41,48 @@ type (
 	ConsensusReached = events.ConsensusReached
 	// AuditFailed reports an audit that ended without consensus.
 	AuditFailed = events.AuditFailed
+
+	// MessageDropped reports one lost frame: inbox backpressure, an
+	// unreachable peer, or a fault injected by WithFaults.
+	MessageDropped = events.MessageDropped
+	// DropReason classifies a MessageDropped event.
+	DropReason = events.DropReason
+	// RetryAttempted reports a re-issued announcement frame or PoP
+	// request (WithRetryPolicy; Attempt counts from 2).
+	RetryAttempted = events.RetryAttempted
+	// PeerSuspected reports a node's circuit breaker opening on a peer
+	// after consecutive transport failures; audits route around it.
+	PeerSuspected = events.PeerSuspected
+	// PeerRecovered reports a suspected peer being re-admitted after a
+	// successful probe.
+	PeerRecovered = events.PeerRecovered
+
+	// FaultPlan is a seeded fault-injection schedule for WithFaults:
+	// drop/duplicate rates, a delay bound, per-slot partitions and peer
+	// crash windows, all replayed deterministically from the seed.
+	FaultPlan = faults.Plan
+	// FaultPartition cuts every link between its two sides for a range
+	// of logical slots, healing when the range ends.
+	FaultPartition = faults.Partition
+	// CrashWindow takes one node off the air for a range of logical
+	// slots; its state survives the outage.
+	CrashWindow = faults.CrashWindow
+	// RetryPolicy bounds re-transmission for WithRetryPolicy:
+	// exponential backoff with deterministic jitter and a total-attempt
+	// cap. The zero value disables retries.
+	RetryPolicy = faults.RetryPolicy
 )
+
+// Drop reasons carried by MessageDropped events.
+const (
+	DropBackpressure = events.DropBackpressure
+	DropUnreachable  = events.DropUnreachable
+	DropInjected     = events.DropInjected
+	DropPartition    = events.DropPartition
+	DropCrash        = events.DropCrash
+)
+
+// DefaultRetryPolicy is a sane retry configuration for lossy
+// deployments: four attempts backing off 20ms → 40ms → 80ms with
+// half-width jitter.
+func DefaultRetryPolicy() RetryPolicy { return faults.DefaultRetryPolicy() }

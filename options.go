@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/faults"
 	"github.com/twoldag/twoldag/internal/pow"
 	"github.com/twoldag/twoldag/internal/topology"
 )
@@ -79,6 +80,8 @@ type config struct {
 	malicious int
 	bodyBytes int
 	pipeline  int
+	faultPlan faults.Plan
+	retry     faults.RetryPolicy
 }
 
 func defaultConfig() *config {
@@ -219,6 +222,40 @@ func WithObserver(o Observer) Option {
 	}
 }
 
+// WithFaults installs a seeded fault-injection plan on the live
+// driver: every node's transport is wrapped so frames suffer the
+// plan's drops, delays, duplicates, partitions and crash windows —
+// deterministically, keyed on (seed, sender, receiver, send ordinal),
+// so the same plan replays identically over the in-memory fabric and
+// TCP. The zero plan injects nothing and leaves transports unwrapped.
+// Live driver only: the simulator has no wire to disturb.
+func WithFaults(plan FaultPlan) Option {
+	return func(c *config) error {
+		if err := plan.Validate(); err != nil {
+			return fmt.Errorf("twoldag: WithFaults: %w", err)
+		}
+		c.faultPlan = plan
+		return nil
+	}
+}
+
+// WithRetryPolicy enables bounded re-transmission on the live driver:
+// announcement frames re-send to neighbors whose acknowledgement is
+// missing, and PoP requests re-issue after timeouts, both backing off
+// exponentially with deterministic jitter. The zero policy (default)
+// disables retries — the protocol's baseline best-effort behavior.
+// Safe at any setting because receive paths are idempotent (see
+// node.AnnounceBatch). Live driver only.
+func WithRetryPolicy(p RetryPolicy) Option {
+	return func(c *config) error {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("twoldag: WithRetryPolicy: %w", err)
+		}
+		c.retry = p
+		return nil
+	}
+}
+
 // WithDriver selects the Runtime implementation (default DriverLive).
 func WithDriver(d Driver) Option {
 	return func(c *config) error {
@@ -297,6 +334,12 @@ func (c *config) validate(g *topology.Graph) error {
 	if c.driver == DriverSim {
 		if c.transport != InMemory {
 			return errors.New("twoldag: WithTransport applies to the live driver only")
+		}
+		if c.faultPlan.Active() {
+			return errors.New("twoldag: WithFaults applies to the live driver only")
+		}
+		if c.retry.Enabled() {
+			return errors.New("twoldag: WithRetryPolicy applies to the live driver only")
 		}
 		if c.malicious >= g.Len() {
 			return fmt.Errorf("twoldag: %d malicious nodes out of range for %d nodes", c.malicious, g.Len())
