@@ -2,14 +2,13 @@ package twoldag
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/cluster"
 	"github.com/twoldag/twoldag/internal/events"
 	"github.com/twoldag/twoldag/internal/faults"
 	"github.com/twoldag/twoldag/internal/identity"
@@ -57,8 +56,8 @@ func (f *tcpFabric) endpoint(id NodeID) (transport.Transport, error) {
 		return nil, fmt.Errorf("%w: %v", transport.ErrDuplicatePeer, id)
 	}
 	for peer, pt := range f.nodes {
-		t.AddPeer(peer, pt.Addr())
-		pt.AddPeer(id, t.Addr())
+		t.SetPeer(peer, pt.Addr())
+		pt.SetPeer(id, t.Addr())
 	}
 	f.nodes[id] = t
 	return t, nil
@@ -89,108 +88,6 @@ func (f *tcpFabric) close() error {
 	return first
 }
 
-// ackWaiter tracks one announcement's outstanding neighbor
-// acknowledgements.
-type ackWaiter struct {
-	pending map[NodeID]struct{}
-	done    chan struct{}
-}
-
-// ackTracker resolves digest announcements to waiting submitters. It
-// observes the receiver-side DigestAnnounced event from every node,
-// replacing the old 200µs sleep-poll over neighbor caches with an
-// event-driven acknowledgement.
-type ackTracker struct {
-	NopObserver
-	mu      sync.Mutex
-	waiters map[Digest]*ackWaiter
-}
-
-func newAckTracker() *ackTracker {
-	return &ackTracker{waiters: make(map[Digest]*ackWaiter)}
-}
-
-// expect registers interest in d reaching every listed neighbor. Call
-// before announcing so no acknowledgement can be missed.
-func (t *ackTracker) expect(d Digest, neighbors []NodeID) *ackWaiter {
-	w := &ackWaiter{pending: make(map[NodeID]struct{}, len(neighbors)), done: make(chan struct{})}
-	for _, nb := range neighbors {
-		w.pending[nb] = struct{}{}
-	}
-	if len(w.pending) == 0 {
-		close(w.done)
-		return w
-	}
-	t.mu.Lock()
-	t.waiters[d] = w
-	t.mu.Unlock()
-	return w
-}
-
-// OnDigestAnnounced implements Observer: one neighbor cached d.
-func (t *ackTracker) OnDigestAnnounced(e DigestAnnounced) {
-	t.mu.Lock()
-	t.resolve(e.Digest, e.To)
-	t.mu.Unlock()
-}
-
-// OnDigestBatchDelivered implements Observer: one neighbor ingested a
-// whole coalesced flush, acknowledging every digest it carried at
-// once.
-func (t *ackTracker) OnDigestBatchDelivered(e DigestBatchDelivered) {
-	t.mu.Lock()
-	for _, d := range e.Digests {
-		t.resolve(d, e.To)
-	}
-	t.mu.Unlock()
-}
-
-// resolve marks d acknowledged by neighbor to. Callers hold t.mu.
-func (t *ackTracker) resolve(d Digest, to NodeID) {
-	if w, ok := t.waiters[d]; ok {
-		delete(w.pending, to)
-		if len(w.pending) == 0 {
-			close(w.done)
-			delete(t.waiters, d)
-		}
-	}
-}
-
-// pending snapshots the neighbors that have not yet acknowledged d
-// (nil once the waiter resolved), sorted for reproducible retry
-// fan-out.
-func (t *ackTracker) pending(d Digest) []NodeID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	w, ok := t.waiters[d]
-	if !ok {
-		return nil
-	}
-	out := make([]NodeID, 0, len(w.pending))
-	for id := range w.pending {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// cancel abandons a waiter and reports which neighbors never
-// acknowledged (empty when the waiter actually completed).
-func (t *ackTracker) cancel(d Digest) []NodeID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	w, ok := t.waiters[d]
-	if !ok {
-		return nil
-	}
-	delete(t.waiters, d)
-	missing := make([]NodeID, 0, len(w.pending))
-	for id := range w.pending {
-		missing = append(missing, id)
-	}
-	return missing
-}
-
 // Cluster is the live Runtime driver: one node runtime per IoT device
 // exchanging real wire messages over the in-memory fabric or TCP.
 type Cluster struct {
@@ -205,7 +102,7 @@ type Cluster struct {
 	gamma   int
 	rto     time.Duration
 	workers int
-	tracker *ackTracker
+	tracker *cluster.AckTracker
 	obs     Observer // user observers (may be nil); tracker added per node
 	plan    faults.Plan
 	retry   faults.RetryPolicy
@@ -225,7 +122,7 @@ func newCluster(cfg *config, g *topology.Graph) (*Cluster, error) {
 		gamma:   cfg.gamma,
 		rto:     cfg.rto,
 		workers: cfg.workers,
-		tracker: newAckTracker(),
+		tracker: cluster.NewAckTracker(),
 		obs:     events.Multi(cfg.observers...),
 		plan:    cfg.faultPlan,
 		retry:   cfg.retry,
@@ -340,17 +237,8 @@ func (c *Cluster) ackCtx(ctx context.Context) (context.Context, context.CancelFu
 }
 
 // awaitAck blocks until every expected neighbor acknowledged d.
-func (c *Cluster) awaitAck(ctx context.Context, origin NodeID, d Digest, w *ackWaiter) error {
-	select {
-	case <-w.done:
-		return nil
-	case <-ctx.Done():
-		missing := c.tracker.cancel(d)
-		if len(missing) == 0 {
-			return nil // acknowledged in the same instant
-		}
-		return fmt.Errorf("twoldag: digest %s from %v unacknowledged by %v: %w", d, origin, missing, ctx.Err())
-	}
+func (c *Cluster) awaitAck(ctx context.Context, origin NodeID, d Digest, w *cluster.Waiter) error {
+	return c.tracker.Await(ctx, origin, d, w)
 }
 
 // awaitAckRetry is awaitAck with the configured retry policy: each
@@ -359,42 +247,14 @@ func (c *Cluster) awaitAck(ctx context.Context, origin NodeID, d Digest, w *ackW
 // up to MaxAttempts total announcement rounds. Retries are ack-driven,
 // never blind: a loss-free run sends exactly one frame per link and
 // takes the plain awaitAck path.
-func (c *Cluster) awaitAckRetry(ctx context.Context, n *node.Node, d Digest, w *ackWaiter) error {
-	if !c.retry.Enabled() {
-		return c.awaitAck(ctx, n.ID(), d, w)
-	}
-	key := binary.LittleEndian.Uint64(d[:8])
-	for attempt := 2; attempt <= c.retry.MaxAttempts; attempt++ {
-		timer := time.NewTimer(c.retry.Backoff(attempt, key))
-		select {
-		case <-w.done:
-			timer.Stop()
-			return nil
-		case <-ctx.Done():
-			timer.Stop()
-			return c.awaitAck(ctx, n.ID(), d, w) // reports the missing set
-		case <-timer.C:
-		}
-		pending := c.tracker.pending(d)
-		if len(pending) == 0 {
-			// Resolved in the same instant; the waiter is gone, so done
-			// is closed (or about to be).
-			return c.awaitAck(ctx, n.ID(), d, w)
-		}
-		for _, nb := range pending {
-			if c.obs != nil {
-				c.obs.OnRetryAttempted(events.RetryAttempted{
-					Node: n.ID(), Peer: nb, Announce: true, Attempt: attempt,
-				})
-			}
-			n.AnnounceTo(ctx, nb, d)
-		}
-	}
-	return c.awaitAck(ctx, n.ID(), d, w)
+func (c *Cluster) awaitAckRetry(ctx context.Context, n *node.Node, d Digest, w *cluster.Waiter) error {
+	return c.tracker.AwaitRetry(ctx, n.ID(), d, w, c.retry, c.obs, func(ctx context.Context, nb NodeID, d Digest) {
+		n.AnnounceTo(ctx, nb, d)
+	})
 }
 
 // Submit implements Runtime: seal, announce, and wait for every live
-// neighbor's acknowledgement (event-driven — see ackTracker).
+// neighbor's acknowledgement (event-driven — see cluster.AckTracker).
 func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, error) {
 	n, ok := c.nodes[id]
 	if !ok {
@@ -404,7 +264,7 @@ func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, erro
 	if err != nil {
 		return Ref{}, err
 	}
-	w := c.tracker.expect(d, c.liveNeighbors(id))
+	w := c.tracker.Expect(d, c.liveNeighbors(id))
 	actx, cancel := c.ackCtx(ctx)
 	defer cancel()
 	n.Announce(actx, d)
@@ -424,13 +284,13 @@ func (c *Cluster) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, e
 	type flush struct {
 		n *node.Node
 		d Digest
-		w *ackWaiter
+		w *cluster.Waiter
 	}
 	refs := make([]Ref, 0, len(batch))
 	flushes := make([]flush, 0, len(batch))
 	fail := func(err error) ([]Ref, error) {
 		for _, f := range flushes {
-			c.tracker.cancel(f.d)
+			c.tracker.Cancel(f.d)
 		}
 		return refs, err
 	}
@@ -444,7 +304,7 @@ func (c *Cluster) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, e
 			return fail(err)
 		}
 		refs = append(refs, b.Header.Ref())
-		flushes = append(flushes, flush{n: n, d: d, w: c.tracker.expect(d, c.liveNeighbors(sub.Node))})
+		flushes = append(flushes, flush{n: n, d: d, w: c.tracker.Expect(d, c.liveNeighbors(sub.Node))})
 	}
 	// Coalesce outbound announcements per sender, preserving seal
 	// order within each sender's run so the receiver's A_i ends on the

@@ -1,126 +1,79 @@
-// Command twoldag runs a live 2LDAG cluster through the public Runtime
-// API: it generates a connected IoT topology, starts one node runtime
-// per device over the in-memory fabric or loopback TCP, submits data
-// blocks in per-slot batches and then fans random Proof-of-Path audits
-// out over a worker pool, printing consensus results, cost counters
-// and the typed event totals.
+// Command twoldag drives 2LDAG deployments in three modes:
 //
-// Usage:
+//	twoldag run   [flags]   one whole cluster inside this process
+//	twoldag serve [flags]   one planned node of a cross-host cluster
+//	twoldag join  [flags]   a dynamic joiner dialing a running cluster
 //
-//	twoldag [-nodes N] [-slots S] [-gamma G] [-audits K] [-seed X]
-//	        [-transport mem|tcp] [-workers W] [-topo]
+// run is the original demo: it generates a connected IoT topology,
+// starts one node runtime per device, submits data blocks in per-slot
+// batches and fans random Proof-of-Path audits out over a worker pool.
+// Note that run's -transport tcp still keeps every node in this one
+// process — each device gets its own loopback TCP listener, but nothing
+// crosses a host boundary. For a real cross-host cluster start one
+// `twoldag serve` per device (pointing later ones at the first with
+// -bootstrap), and grow it at runtime with `twoldag join -addr`.
+//
+// serve and join host exactly one device each and speak a JSON-lines
+// control protocol on stdin/stdout (see internal/cluster.ServeControl):
+// the process prints a `ready` event carrying its ID and advertised
+// address, then answers slot/seal/flush/submit/audit/silence/info/leave
+// requests until stdin closes or a leave arrives. SIGINT and SIGTERM
+// trigger the same graceful shutdown: drain in-flight verbs, broadcast
+// Leave so peers mark the node dead, close the listener.
+//
+// For compatibility, bare flags without a subcommand run the demo:
+// `twoldag -nodes 20` behaves exactly as `twoldag run -nodes 20`.
 package main
 
 import (
-	"context"
-	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"sync/atomic"
-
-	"github.com/twoldag/twoldag"
 )
 
-// eventTally counts the runtime's typed event stream — the sample
-// consumer for twoldag.WithObserver.
-type eventTally struct {
-	twoldag.NopObserver
-	sealed, announced, hops atomic.Int64
-}
-
-func (t *eventTally) OnBlockSealed(twoldag.BlockSealed)         { t.sealed.Add(1) }
-func (t *eventTally) OnDigestAnnounced(twoldag.DigestAnnounced) { t.announced.Add(1) }
-func (t *eventTally) OnDigestBatchDelivered(e twoldag.DigestBatchDelivered) {
-	// A coalesced flush counts one delivery per carried digest, so the
-	// tally agrees between the batched and singleton paths.
-	t.announced.Add(int64(len(e.Digests)))
-}
-func (t *eventTally) OnAuditHop(twoldag.AuditHop) { t.hops.Add(1) }
-
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:]))
 }
 
-func run() int {
-	nodes := flag.Int("nodes", 20, "number of IoT nodes")
-	slots := flag.Int("slots", 12, "data-generation slots to run")
-	gamma := flag.Int("gamma", 4, "PoP consensus threshold γ")
-	audits := flag.Int("audits", 5, "number of random audits to run")
-	seed := flag.Int64("seed", 1, "random seed")
-	transport := flag.String("transport", "mem", "message fabric: mem or tcp")
-	workers := flag.Int("workers", 0, "audit worker pool size (0 = GOMAXPROCS)")
-	topoOnly := flag.Bool("topo", false, "print topology statistics and exit")
-	flag.Parse()
-
-	kind := twoldag.InMemory
-	if *transport == "tcp" {
-		kind = twoldag.TCP
-	}
-	tally := &eventTally{}
-	rt, err := twoldag.New(
-		twoldag.WithNodes(*nodes),
-		twoldag.WithGamma(*gamma),
-		twoldag.WithSeed(*seed),
-		twoldag.WithTransport(kind),
-		twoldag.WithWorkers(*workers),
-		twoldag.WithObserver(tally),
-	)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "building runtime: %v\n", err)
-		return 1
-	}
-	defer rt.Close()
-
-	stats := rt.Topology().Summary()
-	fmt.Printf("topology: %d nodes, %d edges, degree %.1f avg [%d..%d], diameter %d (%s transport)\n",
-		stats.Nodes, stats.Edges, stats.AvgDegree, stats.MinDegree, stats.MaxDegree, stats.Diameter, kind)
-	if *topoOnly {
-		return 0
-	}
-
-	ctx := context.Background()
-	rng := rand.New(rand.NewSource(*seed))
-	ids := rt.Nodes()
-	var refs []twoldag.Ref
-	for s := 0; s < *slots; s++ {
-		rt.AdvanceSlot()
-		batch := make([]twoldag.Submission, len(ids))
-		for i, id := range ids {
-			batch[i] = twoldag.Submission{
-				Node: id,
-				Data: []byte(fmt.Sprintf("sensor %v reading @slot %d", id, s)),
+func run(args []string) int {
+	cmd, rest := "run", args
+	if len(args) > 0 {
+		switch args[0] {
+		case "run", "serve", "join":
+			cmd, rest = args[0], args[1:]
+		case "help", "-h", "-help", "--help":
+			usage(os.Stdout)
+			return 0
+		default:
+			if args[0][0] != '-' {
+				fmt.Fprintf(os.Stderr, "twoldag: unknown command %q\n\n", args[0])
+				usage(os.Stderr)
+				return 2
 			}
+			// Bare flags: the original single-command interface.
 		}
-		got, err := rt.SubmitBatch(ctx, batch)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "submit batch slot %d: %v\n", s, err)
-			return 1
-		}
-		refs = append(refs, got...)
 	}
-	fmt.Printf("generated %d blocks over %d slots (one announcement flush per slot)\n", len(refs), *slots)
+	switch cmd {
+	case "serve":
+		return runHost(rest, false)
+	case "join":
+		return runHost(rest, true)
+	default:
+		return runDemo(rest)
+	}
+}
 
-	reqs := make([]twoldag.AuditRequest, *audits)
-	for k := range reqs {
-		target := refs[rng.Intn(len(refs)/2)] // audit the older half
-		validator := ids[rng.Intn(len(ids))]
-		for validator == target.Node {
-			validator = ids[rng.Intn(len(ids))]
-		}
-		reqs[k] = twoldag.AuditRequest{Validator: validator, Ref: target}
-	}
-	for _, out := range rt.AuditMany(ctx, reqs) {
-		if out.Err != nil {
-			fmt.Printf("audit %v by %v: FAILED: %v\n", out.Request.Ref, out.Request.Validator, out.Err)
-			continue
-		}
-		res := out.Result
-		fmt.Printf("audit %v by %v: consensus=%v vouchers=%v path=%d msgs=%d trustHits=%d\n",
-			out.Request.Ref, out.Request.Validator, res.Consensus, len(res.Vouchers), len(res.Path),
-			res.MessagesSent+res.MessagesReceived, res.TrustHits)
-	}
-	fmt.Printf("events: %d blocks sealed, %d digests delivered, %d audit hops\n",
-		tally.sealed.Load(), tally.announced.Load(), tally.hops.Load())
-	return 0
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: twoldag <command> [flags]
+
+commands:
+  run     run a whole cluster inside this process (default; -transport
+          tcp gives every node a loopback listener but still stays in
+          one process — use serve/join for real cross-host clusters)
+  serve   host one planned node of a cross-host cluster and speak the
+          JSON-lines control protocol on stdin/stdout
+  join    dial a running cluster as a dynamic joiner, re-anchor to the
+          newest live device, then speak the same control protocol
+
+run 'twoldag <command> -h' for the command's flags.
+`)
 }

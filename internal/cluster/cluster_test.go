@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/events"
+	"github.com/twoldag/twoldag/internal/faults"
+	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/topology"
+)
+
+// suspectLog records PeerSuspected events and lets tests block until a
+// specific peer's circuit opened — the event-driven way to observe a
+// Leave broadcast landing.
+type suspectLog struct {
+	events.Nop
+	mu     sync.Mutex
+	seen   map[identity.NodeID]struct{}
+	signal chan struct{}
+}
+
+func newSuspectLog() *suspectLog {
+	return &suspectLog{seen: make(map[identity.NodeID]struct{}), signal: make(chan struct{})}
+}
+
+func (l *suspectLog) OnPeerSuspected(e events.PeerSuspected) {
+	l.mu.Lock()
+	l.seen[e.Peer] = struct{}{}
+	close(l.signal)
+	l.signal = make(chan struct{})
+	l.mu.Unlock()
+}
+
+func (l *suspectLog) wait(t *testing.T, peer identity.NodeID) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		l.mu.Lock()
+		_, ok := l.seen[peer]
+		sig := l.signal
+		l.mu.Unlock()
+		if ok {
+			return
+		}
+		select {
+		case <-sig:
+		case <-deadline:
+			t.Fatalf("peer %v never suspected", peer)
+		}
+	}
+}
+
+// startHosts brings up an n-node cross-host cluster in this process:
+// host 0 serves first, the rest serve joining through host 0's
+// address. Real TCP listeners, real discovery.
+func startHosts(t *testing.T, n int, seed int64, mutate func(id identity.NodeID, cfg *Config)) []*Host {
+	t.Helper()
+	hosts := make([]*Host, n)
+	for i := 0; i < n; i++ {
+		cfg := Config{
+			ID: identity.NodeID(i), Nodes: n, Seed: seed,
+			Gamma: 1, Difficulty: 2,
+			RequestTimeout: 2 * time.Second,
+		}
+		if i > 0 {
+			cfg.JoinAddr = hosts[0].Addr()
+		}
+		if mutate != nil {
+			mutate(identity.NodeID(i), &cfg)
+		}
+		h, err := Start(cfg)
+		if err != nil {
+			t.Fatalf("starting host %d: %v", i, err)
+		}
+		hosts[i] = h
+		t.Cleanup(func() { _ = h.Close() })
+	}
+	return hosts
+}
+
+func TestHostDirectoryExchange(t *testing.T) {
+	hosts := startHosts(t, 3, 7, nil)
+	for _, h := range hosts {
+		live := h.Live()
+		if len(live) != 3 {
+			t.Fatalf("host %v sees live %v, want all of 0..2", h.ID(), live)
+		}
+	}
+	// Cross-host traffic: each node seals a block per slot; the flushes
+	// resolve only when every live neighbor acked over the sockets.
+	ctx := context.Background()
+	for slot := uint32(1); slot <= 2; slot++ {
+		for _, h := range hosts {
+			h.SetSlot(slot)
+		}
+		type sealed struct {
+			h *Host
+			d digest.Digest
+		}
+		var flushes []sealed
+		for _, h := range hosts {
+			_, d, err := h.Seal([]byte{byte(slot), byte(h.ID())})
+			if err != nil {
+				t.Fatalf("seal on %v: %v", h.ID(), err)
+			}
+			flushes = append(flushes, sealed{h, d})
+		}
+		for _, f := range flushes {
+			if err := f.h.Flush(ctx, []digest.Digest{f.d}); err != nil {
+				t.Fatalf("flush on %v: %v", f.h.ID(), err)
+			}
+		}
+	}
+	// A flush resolving proves each neighbor ingested the digest into
+	// its A_i — the ack is synthesized from the receiver's ingest event.
+}
+
+func TestHostDynamicJoinReanchors(t *testing.T) {
+	const seed = 11
+	hosts := startHosts(t, 3, seed, nil)
+
+	// The in-process placement rule is the oracle: same topology, same
+	// liveness, same answer.
+	oracle, err := topology.Deployment(3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PlanJoin(oracle, []identity.NodeID{0, 1, 2}, func(identity.NodeID) bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	joiner, err := Start(Config{
+		Join: true, JoinAddr: hosts[0].Addr(),
+		Nodes: 3, Seed: seed, Gamma: 1, Difficulty: 2,
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	defer joiner.Close()
+	if joiner.ID() != want.ID || joiner.anchor != want.Anchor {
+		t.Fatalf("joiner placed as (%v anchor %v), want (%v anchor %v)",
+			joiner.ID(), joiner.anchor, want.ID, want.Anchor)
+	}
+	// Every member learned the join (Hello fan-out) and can route to
+	// the joiner: the joiner's first submit must collect real acks.
+	for _, h := range hosts {
+		if !h.Topology().Has(want.ID) {
+			t.Fatalf("host %v never learned joiner %v", h.ID(), want.ID)
+		}
+	}
+	for _, h := range append(hosts, joiner) {
+		h.SetSlot(1)
+	}
+	if _, err := joiner.Submit(context.Background(), []byte("joiner-block")); err != nil {
+		t.Fatalf("joiner submit: %v", err)
+	}
+}
+
+func TestHostJoinAnchorsPastDeadMember(t *testing.T) {
+	const seed = 7
+	hosts := startHosts(t, 3, seed, nil)
+	// Member 2 dies without a Leave (crash): survivors are told via the
+	// harness's silence verb, exactly as the e2e kill path works.
+	_ = hosts[2].node.Close()
+	hosts[0].MarkDead(2)
+	hosts[1].MarkDead(2)
+
+	oracle, err := topology.Deployment(3, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := PlanJoin(oracle, []identity.NodeID{0, 1, 2}, func(id identity.NodeID) bool { return id != 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Anchor != 1 {
+		t.Fatalf("oracle anchor = %v, want 1 (newest live)", want.Anchor)
+	}
+
+	joiner, err := Start(Config{
+		Join: true, JoinAddr: hosts[0].Addr(),
+		Nodes: 3, Seed: seed, Gamma: 1, Difficulty: 2,
+		RequestTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	defer joiner.Close()
+	if joiner.ID() != want.ID || joiner.anchor != want.Anchor {
+		t.Fatalf("joiner placed as (%v anchor %v), want (%v anchor %v): dead members must not anchor",
+			joiner.ID(), joiner.anchor, want.ID, want.Anchor)
+	}
+}
+
+func TestHostGracefulLeaveMarksDead(t *testing.T) {
+	logs := map[identity.NodeID]*suspectLog{0: newSuspectLog(), 1: newSuspectLog()}
+	hosts := startHosts(t, 3, 7, func(id identity.NodeID, cfg *Config) {
+		if l, ok := logs[id]; ok {
+			cfg.Observer = l
+		}
+	})
+	if err := hosts[2].Close(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	// The Leave broadcast force-opens 2's circuit on each survivor —
+	// no health-tracker failures needed.
+	logs[0].wait(t, 2)
+	logs[1].wait(t, 2)
+	for _, h := range hosts[:2] {
+		for _, id := range h.Live() {
+			if id == 2 {
+				t.Fatalf("host %v still lists 2 live after its leave", h.ID())
+			}
+		}
+	}
+}
+
+// TestHostCloseMidRetry closes hosts while announcement retries are in
+// flight against a crashed peer and asserts the graceful-shutdown
+// ordering drains everything: the flush returns (bounded by the retry
+// cap or the close), Close returns, and no goroutine outlives the
+// hosts.
+func TestHostCloseMidRetry(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	retry := faults.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    200 * time.Millisecond,
+		Jitter:      0.5,
+		Seed:        7,
+	}
+	hosts := startHosts(t, 2, 7, func(id identity.NodeID, cfg *Config) {
+		cfg.Retry = retry
+		cfg.RequestTimeout = 5 * time.Second
+	})
+	// Crash host 1 without a Leave: host 0 still believes it live and
+	// will retry announcements against the dead listener.
+	_ = hosts[1].node.Close()
+
+	_, d, err := hosts[0].Seal([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flushDone := make(chan error, 1)
+	go func() {
+		flushDone <- hosts[0].Flush(context.Background(), []digest.Digest{d})
+	}()
+	// Close while the flush is mid-retry. Close must cancel the
+	// in-flight flush, wait for it, then shut the node down.
+	if err := hosts[0].Close(); err != nil {
+		t.Fatalf("close mid-retry: %v", err)
+	}
+	select {
+	case err := <-flushDone:
+		if err == nil {
+			t.Fatal("flush against a dead peer reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush still running after Close returned: in-flight verbs not drained")
+	}
+	// New verbs are refused after close.
+	if _, _, err := hosts[0].Seal([]byte("late")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Seal after Close: err = %v, want ErrClosed", err)
+	}
+
+	// Manual leak check (no external deps): every transport read loop,
+	// dispatch loop and retry timer must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestControlProtocol(t *testing.T) {
+	h, err := Start(Config{
+		ID: 0, Nodes: 1, Seed: 7, Gamma: 0, Difficulty: 2,
+		RequestTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqR, reqW := io.Pipe()
+	respR, respW := io.Pipe()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- ServeControl(context.Background(), h, reqR, respW) }()
+	enc := json.NewEncoder(reqW)
+	dec := json.NewDecoder(respR)
+
+	var ready ControlReady
+	if err := dec.Decode(&ready); err != nil || ready.Event != "ready" || ready.Addr == "" {
+		t.Fatalf("ready line = %+v, err %v", ready, err)
+	}
+
+	roundTrip := func(req ControlRequest) ControlResponse {
+		t.Helper()
+		if err := enc.Encode(req); err != nil {
+			t.Fatal(err)
+		}
+		var resp ControlResponse
+		if err := dec.Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if resp := roundTrip(ControlRequest{Op: "slot", Slot: 3}); !resp.OK {
+		t.Fatalf("slot: %+v", resp)
+	}
+	seal := roundTrip(ControlRequest{Op: "seal", Data: []byte("hello")})
+	if !seal.OK || seal.Ref == nil || seal.Ref.Seq != 0 || seal.Digest == "" {
+		t.Fatalf("seal: %+v", seal)
+	}
+	if resp := roundTrip(ControlRequest{Op: "flush", Digests: []string{seal.Digest}}); !resp.OK {
+		t.Fatalf("flush: %+v", resp)
+	}
+	info := roundTrip(ControlRequest{Op: "info"})
+	if !info.OK || info.Addr != ready.Addr || len(info.Live) != 1 {
+		t.Fatalf("info: %+v", info)
+	}
+	if resp := roundTrip(ControlRequest{Op: "warp"}); resp.OK || resp.Err == "" {
+		t.Fatalf("unknown op accepted: %+v", resp)
+	}
+	if resp := roundTrip(ControlRequest{Op: "leave"}); !resp.OK {
+		t.Fatalf("leave: %+v", resp)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve loop: %v", err)
+	}
+	// The host is closed by the leave.
+	if _, _, err := h.Seal(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("host alive after leave: %v", err)
+	}
+}

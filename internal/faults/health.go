@@ -97,6 +97,27 @@ func (h *Health) ReportSuccess(peer identity.NodeID) {
 	}
 }
 
+// Suspect force-opens peer's circuit immediately, regardless of its
+// failure streak — for out-of-band knowledge that the peer is gone (a
+// Leave broadcast, an operator command). Emits PeerSuspected when the
+// circuit was closed; a later success still re-admits the peer as
+// usual.
+func (h *Health) Suspect(peer identity.NodeID) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	_, already := h.suspects[peer]
+	if !already {
+		h.suspects[peer] = struct{}{}
+	}
+	n := h.failures[peer]
+	h.mu.Unlock()
+	if !already && h.obs != nil {
+		h.obs.OnPeerSuspected(events.PeerSuspected{Node: h.node, Peer: peer, Failures: n})
+	}
+}
+
 // Suspected reports whether peer's circuit is open. Safe to pass as
 // core.ValidatorConfig.Avoid.
 func (h *Health) Suspected(peer identity.NodeID) bool {

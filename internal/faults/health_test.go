@@ -87,10 +87,34 @@ func TestHealthNilReceiverIsSafe(t *testing.T) {
 	var h *faults.Health
 	h.ReportFailure(1)
 	h.ReportSuccess(1)
+	h.Suspect(1)
 	if h.Suspected(1) {
 		t.Fatal("nil tracker suspects")
 	}
 	if h.SuspectCount() != 0 {
 		t.Fatal("nil tracker counts suspects")
+	}
+}
+
+func TestHealthSuspectForcesOpen(t *testing.T) {
+	rec := &recorder{}
+	h := faults.NewHealth(1, 0, rec)
+
+	h.Suspect(9)
+	if !h.Suspected(9) {
+		t.Fatal("Suspect did not open the circuit")
+	}
+	// Re-suspecting an open circuit stays silent.
+	h.Suspect(9)
+	rec.mu.Lock()
+	n := len(rec.suspects)
+	rec.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("PeerSuspected fired %d times, want once", n)
+	}
+	// The usual recovery path still re-admits the peer.
+	h.ReportSuccess(9)
+	if h.Suspected(9) {
+		t.Fatal("success did not close a force-opened circuit")
 	}
 }

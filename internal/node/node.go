@@ -70,6 +70,21 @@ type Config struct {
 	// outcomes). Called from transport and audit goroutines — must be
 	// safe for concurrent use and cheap.
 	Observer events.Observer
+	// Control, when non-nil, receives membership-plane frames (Hello,
+	// PeerList pushes, Leave) that the data-plane node does not
+	// interpret itself — the cluster host owning this node handles
+	// directory state there. Runs on the dispatch goroutine; must not
+	// block.
+	Control func(transport.Envelope)
+	// AnnounceAcks switches delivery acknowledgement to the wire: each
+	// ingested announcement (and each pure re-delivery, whose original
+	// ack may have been lost) is answered with a DigestAck frame, and
+	// incoming DigestAcks synthesize the receiver-side delivery events
+	// on this node's observer. In-process clusters leave this off — the
+	// receiver's own observer events reach the submitter's ack tracker
+	// directly. Cross-process clusters need it: events don't cross
+	// process boundaries.
+	AnnounceAcks bool
 }
 
 // Node is a running 2LDAG participant.
@@ -210,9 +225,15 @@ func (n *Node) handle(env transport.Envelope) {
 	ctx := context.Background()
 	switch msg.Kind {
 	case wire.KindDigestAnnounce:
-		n.onAnnounce(msg)
+		n.onAnnounce(ctx, msg)
 	case wire.KindDigestBatch:
-		n.onAnnounceBatch(msg)
+		n.onAnnounceBatch(ctx, msg)
+	case wire.KindDigestAck:
+		n.onDigestAck(msg)
+	case wire.KindHello, wire.KindPeerList, wire.KindLeave:
+		if c := n.cfg.Control; c != nil {
+			c(env)
+		}
 	case wire.KindReqChild:
 		if h, err := n.engine.Responder().ChildFor(msg.Digest); err == nil {
 			_ = n.rpc.Reply(ctx, msg.From, wire.NewRpyChild(msg, h))
@@ -231,16 +252,31 @@ func (n *Node) handle(env transport.Envelope) {
 	}
 }
 
+// ack answers an ingested (or already-ingested) announcement with a
+// wire-level DigestAck when the node runs in AnnounceAcks mode. Losses
+// are tolerated: the sender's retry re-announces, the receiver dedups
+// and re-acks.
+func (n *Node) ack(ctx context.Context, msg *wire.Message) {
+	if !n.cfg.AnnounceAcks {
+		return
+	}
+	_ = n.rpc.Reply(ctx, msg.From, wire.NewDigestAck(msg))
+}
+
 // onAnnounce ingests a digest announcement: idempotent-receive dedup
 // first (re-deliveries are free and side-effect-less), then the DoS
 // rate guard, then A_i.
-func (n *Node) onAnnounce(msg *wire.Message) {
+func (n *Node) onAnnounce(ctx context.Context, msg *wire.Message) {
 	from := msg.From
 	if n.seenBefore(from, msg.Digest) {
-		return // duplicate or retry of an ingested digest
+		// Duplicate or retry of an ingested digest. Re-ack it: the
+		// retry means the original ack may have been lost, and without
+		// a fresh one the sender's pending wait never resolves.
+		n.ack(ctx, msg)
+		return
 	}
 	if !n.announceAllowed(from, 1) {
-		return
+		return // banned or flooding senders get no acknowledgement
 	}
 	if err := n.engine.OnDigest(from, msg.Digest); err != nil {
 		return // non-neighbors rejected inside
@@ -251,6 +287,7 @@ func (n *Node) onAnnounce(msg *wire.Message) {
 		// can treat this as a delivery acknowledgement.
 		obs.OnDigestAnnounced(events.DigestAnnounced{From: from, To: n.ID(), Digest: msg.Digest})
 	}
+	n.ack(ctx, msg)
 }
 
 // onAnnounceBatch ingests a coalesced announcement frame: the DoS
@@ -261,7 +298,7 @@ func (n *Node) onAnnounce(msg *wire.Message) {
 // singleton flood, no under-limit prefix lands: a frame flooding past
 // the PoW-plausible rate is hostile end to end, and announcement loss
 // is tolerated anyway (neighbors pick up the next digest).
-func (n *Node) onAnnounceBatch(msg *wire.Message) {
+func (n *Node) onAnnounceBatch(ctx context.Context, msg *wire.Message) {
 	from := msg.From
 	if n.bl.Banned(from) {
 		return // cheap pre-check: banned peers don't get a decode
@@ -280,10 +317,13 @@ func (n *Node) onAnnounceBatch(msg *wire.Message) {
 		}
 	}
 	if len(fresh) == 0 {
-		return // pure duplicate frame
+		// Pure duplicate frame: every carried digest is already in A_i,
+		// so re-ack the whole frame (the retry implies a lost ack).
+		n.ack(ctx, msg)
+		return
 	}
 	if !n.announceAllowed(from, len(fresh)) {
-		return
+		return // banned or flooding senders get no acknowledgement
 	}
 	if err := n.engine.OnDigestsFrom(from, fresh); err != nil {
 		return // non-neighbors rejected inside
@@ -299,6 +339,37 @@ func (n *Node) onAnnounceBatch(msg *wire.Message) {
 		n.batchFrom = froms
 		obs.OnDigestBatchDelivered(events.DigestBatchDelivered{To: n.ID(), From: froms, Digests: fresh})
 	}
+	// Note: the decode above consumed msg's payload copy, but NewDigestAck
+	// echoes the original payload bytes, so the ack still carries the
+	// full digest run — including any previously-seen suffix whose
+	// earlier ack may have been lost.
+	n.ack(ctx, msg)
+}
+
+// onDigestAck turns a wire-level delivery acknowledgement back into
+// the receiver-side observer events the ack tracker understands: the
+// peer at msg.From has the acknowledged digests in its A_i, exactly as
+// if this process had observed the ingest directly.
+func (n *Node) onDigestAck(msg *wire.Message) {
+	obs := n.cfg.Observer
+	if obs == nil || !n.cfg.AnnounceAcks {
+		return
+	}
+	ds, err := msg.DecodeDigestAckPayload()
+	if err != nil {
+		return
+	}
+	if ds == nil {
+		// Singleton announcement ack.
+		obs.OnDigestAnnounced(events.DigestAnnounced{From: n.ID(), To: msg.From, Digest: msg.Digest})
+		return
+	}
+	froms := n.batchFrom[:0]
+	for range ds {
+		froms = append(froms, n.ID())
+	}
+	n.batchFrom = froms
+	obs.OnDigestBatchDelivered(events.DigestBatchDelivered{To: msg.From, From: froms, Digests: ds})
 }
 
 // announceAllowed applies the receiver-side DoS defense of Sec. IV-D5
@@ -441,6 +512,22 @@ func (n *Node) AnnounceBatch(ctx context.Context, ds []digest.Digest) {
 		n.sendAnnounce(ctx, nb, msg)
 	}
 }
+
+// Call runs one request/response exchange with peer — the
+// membership-plane RPC path (Hello → PeerList). build receives a fresh
+// correlation ID and anti-replay nonce.
+func (n *Node) Call(ctx context.Context, peer identity.NodeID, build func(corr, nonce uint64) *wire.Message) (*wire.Message, error) {
+	return n.rpc.Call(ctx, peer, build)
+}
+
+// Send pushes one fire-and-forget frame to peer — the membership-plane
+// broadcast path (PeerList pushes, Leave).
+func (n *Node) Send(ctx context.Context, peer identity.NodeID, msg *wire.Message) error {
+	return n.rpc.Transport().Send(ctx, peer, msg)
+}
+
+// NextNonce returns a fresh anti-replay nonce for control frames.
+func (n *Node) NextNonce() uint64 { return n.rpc.NextNonce() }
 
 // Audit verifies the given block via PoP over the live network and
 // returns the consensus result.

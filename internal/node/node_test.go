@@ -435,3 +435,124 @@ func TestNodeConfigValidation(t *testing.T) {
 		t.Fatal("missing ring accepted")
 	}
 }
+
+// ackCounter tallies the delivery events a submitter-side observer
+// receives; with AnnounceAcks on, those are synthesized from DigestAck
+// frames rather than observed at the receiver.
+type ackCounter struct {
+	events.Nop
+	mu      sync.Mutex
+	singles int
+	batched int
+	signal  chan struct{}
+}
+
+func newAckCounter() *ackCounter { return &ackCounter{signal: make(chan struct{})} }
+
+func (c *ackCounter) OnDigestAnnounced(events.DigestAnnounced) {
+	c.mu.Lock()
+	c.singles++
+	close(c.signal)
+	c.signal = make(chan struct{})
+	c.mu.Unlock()
+}
+
+func (c *ackCounter) OnDigestBatchDelivered(e events.DigestBatchDelivered) {
+	c.mu.Lock()
+	c.batched += len(e.Digests)
+	close(c.signal)
+	c.signal = make(chan struct{})
+	c.mu.Unlock()
+}
+
+func (c *ackCounter) wait(t *testing.T, cond func(singles, batched int) bool) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		c.mu.Lock()
+		ok := cond(c.singles, c.batched)
+		sig := c.signal
+		c.mu.Unlock()
+		if ok {
+			return
+		}
+		select {
+		case <-sig:
+		case <-deadline:
+			c.mu.Lock()
+			t.Fatalf("ack events never arrived: singles=%d batched=%d", c.singles, c.batched)
+		}
+	}
+}
+
+// TestAnnounceAcksSynthesizeDeliveryEvents pins the cross-process ack
+// contract: with AnnounceAcks on, the announcer's own observer sees
+// the delivery events (synthesized from wire-level DigestAcks), and a
+// re-announced digest is re-acked so a lost first ack cannot stall a
+// retrying submitter.
+func TestAnnounceAcksSynthesizeDeliveryEvents(t *testing.T) {
+	g := topology.New(10)
+	g.AddNode(1, topology.Point{X: 0, Y: 0})
+	g.AddNode(2, topology.Point{X: 1, Y: 0})
+
+	params := block.DefaultParams()
+	params.Difficulty = 2
+	pairs := []identity.KeyPair{identity.Deterministic(1, 500), identity.Deterministic(2, 500)}
+	ring, err := identity.RingFor(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netw := transport.NewNetwork()
+	defer netw.Close()
+	counter := newAckCounter()
+	nodes := make(map[identity.NodeID]*Node, 2)
+	for _, kp := range pairs {
+		ep, err := netw.Endpoint(kp.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var obs events.Observer
+		if kp.ID == 1 {
+			obs = counter // only the announcer's observer counts
+		}
+		n, err := New(Config{
+			Key: kp, Params: params, Topo: g, Ring: ring, Transport: ep,
+			Gamma: 1, RequestTimeout: 500 * time.Millisecond,
+			Observer: obs, AnnounceAcks: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[kp.ID] = n
+		defer n.Close()
+	}
+
+	ctx := context.Background()
+	_, d, err := nodes[1].GenerateLocal([]byte("acked"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].AnnounceTo(ctx, 2, d)
+	counter.wait(t, func(s, b int) bool { return s >= 1 })
+
+	// Retry of the same digest: the receiver dedups the ingest but must
+	// re-ack, or a submitter whose first ack was lost waits forever.
+	nodes[1].AnnounceTo(ctx, 2, d)
+	counter.wait(t, func(s, b int) bool { return s >= 2 })
+
+	// Batch path: one coalesced frame, one ack carrying both digests.
+	_, d2, err := nodes[1].GenerateLocal([]byte("acked-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, d3, err := nodes[1].GenerateLocal([]byte("acked-3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes[1].AnnounceBatch(ctx, []digest.Digest{d2, d3})
+	counter.wait(t, func(s, b int) bool { return b >= 2 })
+
+	// Pure-duplicate batch: every digest already ingested, full re-ack.
+	nodes[1].AnnounceBatch(ctx, []digest.Digest{d2, d3})
+	counter.wait(t, func(s, b int) bool { return b >= 4 })
+}

@@ -90,6 +90,20 @@ func (c Config) validate() error {
 	return nil
 }
 
+// Deployment generates the standard n-node deployment graph for a
+// seed: the paper's evaluation density (1000 m side per 50 nodes,
+// range side/5) scaled down so small clusters stay multi-hop but
+// connected, with floors of 200 m and 60 m. Every process of a
+// cross-host cluster derives its shared world this way — same
+// (n, seed), same graph, no topology exchange needed.
+func Deployment(n int, seed int64) (*Graph, error) {
+	side := math.Max(200, 1000*float64(n)/50)
+	return Generate(Config{
+		Nodes: n, Width: side, Height: side,
+		Range: math.Max(60, side/5), Seed: seed,
+	})
+}
+
 // Generate places cfg.Nodes nodes with IDs 0..Nodes-1 using the paper's
 // sequential connected placement: the first node sits at the center of
 // the area, and every subsequent node is dropped uniformly at random

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+
+	"github.com/twoldag/twoldag/internal/wire"
+)
+
+// Bootstrap performs the joiner's discovery exchange: dial addr raw,
+// send one frame (conventionally a Hello with From=wire.BootstrapID),
+// and read the single reply frame written back on the same connection
+// by the member's bootstrap handler. It is the only way to talk to a
+// cluster before having an identity and a directory — everything after
+// it flows through a TCPNode.
+//
+// The context bounds the whole exchange (dial, write, read).
+func Bootstrap(ctx context.Context, addr string, msg *wire.Message) (*wire.Message, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bootstrap dial %s: %v", ErrPeerUnreachable, addr, err)
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	out := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+msg.WireSize()), uint32(msg.WireSize()))
+	if _, err := conn.Write(msg.AppendEncode(out)); err != nil {
+		return nil, fmt.Errorf("%w: bootstrap write to %s: %v", ErrPeerUnreachable, addr, err)
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("%w: bootstrap read from %s: %v", ErrPeerUnreachable, addr, err)
+	}
+	size := binary.LittleEndian.Uint32(lenBuf[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("bootstrap reply from %s: %w", addr, ErrFrameTooLarge)
+	}
+	frame := make([]byte, size)
+	if _, err := io.ReadFull(conn, frame); err != nil {
+		return nil, fmt.Errorf("%w: bootstrap read from %s: %v", ErrPeerUnreachable, addr, err)
+	}
+	reply, err := wire.Decode(frame)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrap reply from %s: %w", addr, err)
+	}
+	return reply, nil
+}

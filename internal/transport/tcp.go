@@ -27,8 +27,9 @@ var ErrFrameTooLarge = errors.New("transport: frame exceeds limit")
 // higher layers via signatures, per the paper's Sec. IV-D threat
 // model).
 type TCPNode struct {
-	self identity.NodeID
-	ln   net.Listener
+	self      identity.NodeID
+	ln        net.Listener
+	advertise string
 
 	mu      sync.Mutex
 	addrs   map[identity.NodeID]string
@@ -37,9 +38,10 @@ type TCPNode struct {
 
 	inbox chan Envelope
 
-	stateMu sync.RWMutex
-	closed  bool
-	onDrop  func(Envelope)
+	stateMu     sync.RWMutex
+	closed      bool
+	onDrop      func(Envelope)
+	onBootstrap func(*wire.Message) *wire.Message
 
 	wg sync.WaitGroup
 }
@@ -52,9 +54,21 @@ type lockedConn struct {
 	c  net.Conn
 }
 
+// TCPOption tunes ListenTCP.
+type TCPOption func(*TCPNode)
+
+// WithAdvertiseAddr sets the address the node announces to peers
+// instead of the bound listener address — a node bound to ":0" (or
+// behind NAT-style address rewriting) stays reachable by handing out
+// an address that routes to it.
+func WithAdvertiseAddr(addr string) TCPOption {
+	return func(n *TCPNode) { n.advertise = addr }
+}
+
 // ListenTCP starts a node listening on addr. The directory maps peers
-// to their dial addresses and may be extended later with AddPeer.
-func ListenTCP(self identity.NodeID, addr string, directory map[identity.NodeID]string) (*TCPNode, error) {
+// to their dial addresses; SetPeer/RemovePeer update it while the node
+// runs.
+func ListenTCP(self identity.NodeID, addr string, directory map[identity.NodeID]string, opts ...TCPOption) (*TCPNode, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
@@ -70,6 +84,9 @@ func ListenTCP(self identity.NodeID, addr string, directory map[identity.NodeID]
 	for id, a := range directory {
 		n.addrs[id] = a
 	}
+	for _, opt := range opts {
+		opt(n)
+	}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -78,11 +95,53 @@ func ListenTCP(self identity.NodeID, addr string, directory map[identity.NodeID]
 // Addr returns the bound listen address (useful with ":0").
 func (n *TCPNode) Addr() string { return n.ln.Addr().String() }
 
+// AdvertiseAddr returns the address this node announces to peers: the
+// WithAdvertiseAddr override when set, the bound address otherwise.
+func (n *TCPNode) AdvertiseAddr() string {
+	if n.advertise != "" {
+		return n.advertise
+	}
+	return n.ln.Addr().String()
+}
+
 // AddPeer registers or updates a peer's dial address.
-func (n *TCPNode) AddPeer(id identity.NodeID, addr string) {
+// Deprecated-in-spirit alias of SetPeer, kept for existing callers.
+func (n *TCPNode) AddPeer(id identity.NodeID, addr string) { n.SetPeer(id, addr) }
+
+// SetPeer registers or updates a peer's dial address. When the address
+// changes, any cached connection to the peer is dropped so the next
+// Send dials the new address.
+func (n *TCPNode) SetPeer(id identity.NodeID, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if prev, ok := n.addrs[id]; ok && prev != addr {
+		if lc, ok := n.conns[id]; ok {
+			lc.c.Close()
+			delete(n.conns, id)
+		}
+	}
 	n.addrs[id] = addr
+}
+
+// RemovePeer forgets a peer: its directory entry is deleted and any
+// cached connection closed. Subsequent Sends fail with ErrUnknownPeer
+// until SetPeer re-registers it.
+func (n *TCPNode) RemovePeer(id identity.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.addrs, id)
+	if lc, ok := n.conns[id]; ok {
+		lc.c.Close()
+		delete(n.conns, id)
+	}
+}
+
+// Peer looks up a peer's registered dial address.
+func (n *TCPNode) Peer(id identity.NodeID) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addr, ok := n.addrs[id]
+	return addr, ok
 }
 
 // SetDropHandler installs a callback invoked for each inbound frame
@@ -94,6 +153,18 @@ func (n *TCPNode) SetDropHandler(f func(Envelope)) {
 	n.stateMu.Lock()
 	defer n.stateMu.Unlock()
 	n.onDrop = f
+}
+
+// SetBootstrapHandler installs the discovery responder: a frame whose
+// From is wire.BootstrapID comes from a joiner that has no identity or
+// directory yet (see Bootstrap), so instead of entering the inbox the
+// handler's reply is written straight back on the same connection.
+// A nil handler (the default) drops such frames. The handler runs on
+// read-loop goroutines and must be safe for concurrent use.
+func (n *TCPNode) SetBootstrapHandler(f func(*wire.Message) *wire.Message) {
+	n.stateMu.Lock()
+	defer n.stateMu.Unlock()
+	n.onBootstrap = f
 }
 
 // Self implements Transport.
@@ -156,6 +227,27 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 		if err != nil {
 			continue // skip malformed frames, keep the connection
 		}
+		if msg.From == wire.BootstrapID {
+			// Discovery exchange: reply on this connection (the sender has
+			// no listener registered anywhere yet) and keep the frame out
+			// of the inbox. Writes are safe unlocked — inbound connections
+			// are only ever written from their own read loop.
+			n.stateMu.RLock()
+			handler := n.onBootstrap
+			n.stateMu.RUnlock()
+			if handler == nil {
+				continue
+			}
+			reply := handler(msg)
+			if reply == nil {
+				continue
+			}
+			out := binary.LittleEndian.AppendUint32(nil, uint32(reply.WireSize()))
+			if _, err := conn.Write(reply.AppendEncode(out)); err != nil {
+				return
+			}
+			continue
+		}
 		n.stateMu.RLock()
 		if n.closed {
 			n.stateMu.RUnlock()
@@ -175,6 +267,9 @@ func (n *TCPNode) readLoop(conn net.Conn) {
 }
 
 // Send implements Transport, dialing the peer on first use.
+// Self-sends short-circuit into the local inbox without touching the
+// network — parity with the in-memory fabric, which PoP relies on when
+// the validator itself is a digest holder on the audited path.
 func (n *TCPNode) Send(ctx context.Context, to identity.NodeID, msg *wire.Message) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -184,6 +279,9 @@ func (n *TCPNode) Send(ctx context.Context, to identity.NodeID, msg *wire.Messag
 	n.stateMu.RUnlock()
 	if closed {
 		return ErrClosed
+	}
+	if to == n.self {
+		return n.deliverLocal(msg)
 	}
 	lc, err := n.conn(ctx, to)
 	if err != nil {
@@ -204,6 +302,33 @@ func (n *TCPNode) Send(ctx context.Context, to identity.NodeID, msg *wire.Messag
 		return fmt.Errorf("%w: writing to %v: %v", ErrPeerUnreachable, to, err)
 	}
 	return nil
+}
+
+// deliverLocal enqueues a self-addressed frame, deep-copying through
+// the codec so sender and receiver never share memory (the same
+// guarantee a socket round trip gives).
+func (n *TCPNode) deliverLocal(msg *wire.Message) error {
+	buf := getFrame()
+	b := msg.AppendEncode(*buf)
+	cp, err := wire.Decode(b)
+	*buf = b
+	putFrame(buf)
+	if err != nil {
+		return fmt.Errorf("transport: message not encodable: %w", err)
+	}
+	n.stateMu.RLock()
+	defer n.stateMu.RUnlock()
+	if n.closed {
+		return ErrClosed
+	}
+	select {
+	case n.inbox <- Envelope{From: n.self, Msg: cp}:
+		return nil
+	default:
+		// The sender IS the receiver, so the overflow is reportable as a
+		// send error, exactly like the in-memory fabric's.
+		return fmt.Errorf("%w: to %v", ErrBackpressure, n.self)
+	}
 }
 
 func (n *TCPNode) conn(ctx context.Context, to identity.NodeID) (*lockedConn, error) {

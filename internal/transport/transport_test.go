@@ -3,6 +3,7 @@ package transport
 import (
 	"context"
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -423,5 +424,241 @@ func TestTCPInboundDropHandler(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("no inbound drop reported")
+	}
+}
+
+func TestTCPSetPeerRedirects(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b1, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+	b2, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+
+	ctx := context.Background()
+	a.SetPeer(2, b1.Addr())
+	if err := a.Send(ctx, 2, announce(1, 2, "first")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b1.Inbox():
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery to the first address timed out")
+	}
+
+	// Updating the address must drop the cached connection so the next
+	// send dials the new listener.
+	a.SetPeer(2, b2.Addr())
+	if addr, ok := a.Peer(2); !ok || addr != b2.Addr() {
+		t.Fatalf("Peer(2) = %q, %v", addr, ok)
+	}
+	if err := a.Send(ctx, 2, announce(1, 2, "second")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case env := <-b2.Inbox():
+		if env.Msg.Digest != digest.Sum([]byte("second")) {
+			t.Fatal("wrong frame at the new address")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery to the updated address timed out")
+	}
+	select {
+	case env := <-b1.Inbox():
+		t.Fatalf("stale address still receiving: %+v", env)
+	default:
+	}
+}
+
+func TestTCPRemovePeer(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx := context.Background()
+	a.SetPeer(2, b.Addr())
+	if err := a.Send(ctx, 2, announce(1, 2, "x")); err != nil {
+		t.Fatal(err)
+	}
+	a.RemovePeer(2)
+	if err := a.Send(ctx, 2, announce(1, 2, "y")); !errors.Is(err, ErrUnknownPeer) {
+		t.Fatalf("want ErrUnknownPeer after RemovePeer, got %v", err)
+	}
+	// Re-registering restores the route.
+	a.SetPeer(2, b.Addr())
+	if err := a.Send(ctx, 2, announce(1, 2, "z")); err != nil {
+		t.Fatalf("send after re-register: %v", err)
+	}
+}
+
+func TestTCPDirectoryUpdatesUnderConcurrentSends(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b1, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b1.Close()
+	b2, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	// Drain both inboxes so sends never hit backpressure.
+	done := make(chan struct{})
+	go func() {
+		for range b1.Inbox() {
+		}
+		close(done)
+	}()
+	go func() {
+		for range b2.Inbox() {
+		}
+	}()
+
+	ctx := context.Background()
+	a.SetPeer(2, b1.Addr())
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Sends may fail transiently when SetPeer yanks the cached
+				// connection mid-write; the race detector is the assertion.
+				_ = a.Send(ctx, 2, announce(1, 2, "c"))
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			if i%2 == 0 {
+				a.SetPeer(2, b2.Addr())
+			} else {
+				a.SetPeer(2, b1.Addr())
+			}
+		}
+	}()
+	wg.Wait()
+	b1.Close()
+	<-done
+}
+
+func TestTCPAdvertiseAddr(t *testing.T) {
+	plain, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.AdvertiseAddr() != plain.Addr() {
+		t.Fatalf("default advertise %q != bound %q", plain.AdvertiseAddr(), plain.Addr())
+	}
+	if unreachable, err := ListenTCP(3, "127.0.0.1:0", nil, WithAdvertiseAddr("10.9.9.9:1")); err != nil {
+		t.Fatal(err)
+	} else {
+		got := unreachable.AdvertiseAddr()
+		unreachable.Close()
+		if got != "10.9.9.9:1" {
+			t.Fatalf("advertise override lost: %q", got)
+		}
+	}
+
+	// NAT-style rewrite: the node binds 127.0.0.1:0 but advertises a
+	// hostname that resolves back to the same listener; a peer told only
+	// the advertised address must still reach it.
+	svc, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	_, port, err := net.SplitHostPort(svc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.SetPeer(2, net.JoinHostPort("localhost", port))
+	if err := plain.Send(context.Background(), 2, announce(1, 2, "via-advertised")); err != nil {
+		t.Fatalf("send via advertised address: %v", err)
+	}
+	select {
+	case <-svc.Inbox():
+	case <-time.After(2 * time.Second):
+		t.Fatal("delivery via advertised address timed out")
+	}
+}
+
+func TestBootstrapExchange(t *testing.T) {
+	member, err := ListenTCP(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer member.Close()
+	entries := []wire.PeerEntry{{ID: 0, Live: true, Anchor: wire.NoAnchor, Addr: member.Addr()}}
+	member.SetBootstrapHandler(func(m *wire.Message) *wire.Message {
+		if m.Kind != wire.KindHello {
+			return nil
+		}
+		return wire.NewPeerList(m, entries)
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	hello := wire.NewHello(wire.BootstrapID, 0, wire.HelloInfo{Anchor: wire.NoAnchor}, 1, 1)
+	reply, err := Bootstrap(ctx, member.Addr(), hello)
+	if err != nil {
+		t.Fatalf("Bootstrap: %v", err)
+	}
+	got, err := reply.DecodePeerListPayload()
+	if err != nil {
+		t.Fatalf("reply payload: %v", err)
+	}
+	if len(got) != 1 || got[0].Addr != member.Addr() {
+		t.Fatalf("wrong peer list: %+v", got)
+	}
+	// The discovery frame must never surface in the inbox.
+	select {
+	case env := <-member.Inbox():
+		t.Fatalf("bootstrap frame leaked into the inbox: %+v", env)
+	default:
+	}
+}
+
+func TestBootstrapWithoutHandlerTimesOut(t *testing.T) {
+	member, err := ListenTCP(0, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer member.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	hello := wire.NewHello(wire.BootstrapID, 0, wire.HelloInfo{Anchor: wire.NoAnchor}, 1, 1)
+	if _, err := Bootstrap(ctx, member.Addr(), hello); err == nil {
+		t.Fatal("bootstrap against a handler-less node must fail, not hang")
+	}
+	// The unanswered discovery frame must not surface in the inbox
+	// either: BootstrapID is not a routable identity.
+	select {
+	case env := <-member.Inbox():
+		t.Fatalf("bootstrap frame leaked into the inbox: %+v", env)
+	default:
 	}
 }

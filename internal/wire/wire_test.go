@@ -1,6 +1,9 @@
 package wire
 
 import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"math/rand"
 	"testing"
@@ -36,6 +39,7 @@ func TestRoundTripAllKinds(t *testing.T) {
 	blk := &block.Block{Header: *h, Body: []byte("payload")}
 	req := NewReqChild(1, 2, digest.Sum([]byte("t")), 7, 9)
 	get := NewGetBlock(1, 2, block.Ref{Node: 2, Seq: 5}, 8, 10)
+	hello := NewHello(9, 1, HelloInfo{Addr: "127.0.0.1:0", PubKey: []byte{1, 2, 3}, Anchor: 4, X: 1.5, Y: -2.5}, 12, 13)
 	msgs := []*Message{
 		NewDigestAnnounce(1, 2, digest.Sum([]byte("d")), 3),
 		NewDigestBatch(1, 2, []digest.Digest{digest.Sum([]byte("a")), digest.Sum([]byte("b"))}, 4),
@@ -44,6 +48,11 @@ func TestRoundTripAllKinds(t *testing.T) {
 		get,
 		NewBlockResp(get, blk),
 		NewNotFound(req),
+		NewDigestAck(NewDigestBatch(1, 2, []digest.Digest{digest.Sum([]byte("a"))}, 4)),
+		hello,
+		NewPeerList(hello, []PeerEntry{{ID: 1, Live: true, Anchor: NoAnchor, Addr: "h:1", PubKey: []byte{9}}}),
+		NewPeerListPush(1, 2, nil, 5),
+		NewLeave(1, 2, 6),
 	}
 	for _, m := range msgs {
 		enc := m.Encode()
@@ -172,8 +181,197 @@ func TestKindStringAndPredicates(t *testing.T) {
 	if !KindRpyChild.IsResponse() || !KindNotFound.IsResponse() || KindReqChild.IsResponse() {
 		t.Fatal("IsResponse wrong")
 	}
+	// PeerList answers Hello through the RPC correlation map; DigestAck
+	// is unsolicited by design (it acknowledges corr-0 announcements).
+	if !KindPeerList.IsResponse() || KindHello.IsResponse() || KindDigestAck.IsResponse() || KindLeave.IsResponse() {
+		t.Fatal("directory IsResponse wrong")
+	}
 	if Kind(250).String() == "" {
 		t.Fatal("unknown kind must still render")
+	}
+}
+
+// TestKindStringExhaustive pins that every defined kind has a name:
+// adding a kind without extending String (or the Valid range) fails
+// here, not in a log line reading "KIND(11)".
+func TestKindStringExhaustive(t *testing.T) {
+	for k := KindDigestAnnounce; k < kindMax; k++ {
+		if !k.Valid() {
+			t.Fatalf("kind %d inside the enum range reports invalid", k)
+		}
+		if s := k.String(); len(s) >= 5 && s[:5] == "KIND(" {
+			t.Fatalf("kind %d has no String case: %q", k, s)
+		}
+	}
+	if s := kindMax.String(); len(s) < 5 || s[:5] != "KIND(" {
+		t.Fatalf("kindMax must render as unknown, got %q", s)
+	}
+	if kindMax.Valid() {
+		t.Fatal("kindMax must be invalid")
+	}
+}
+
+// Golden frames: the exact bytes of a Hello and a PeerList, pinned so
+// the directory protocol's encoding never drifts silently (cross-host
+// processes of different builds must interoperate).
+const (
+	goldenHelloHex    = "09030000000000000007000000000000000900000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000002800000001000000000000000040604000000000000059400d0031302e302e302e333a3930303004aabbccdd"
+	goldenPeerListHex = "0a0000000003000000070000000000000009000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000000077000000030000000000000001ffffffff000000000000594000000000000059400d0031302e302e302e313a3930303001010200000000ffffffff0000000000004e400000000000005940000000030000000101000000000000000040604000000000000059400d0031302e302e302e333a3930303004aabbccdd"
+)
+
+func goldenHello() *Message {
+	return NewHello(3, 0, HelloInfo{
+		Addr:   "10.0.0.3:9000",
+		PubKey: []byte{0xAA, 0xBB, 0xCC, 0xDD},
+		Anchor: 1,
+		X:      130, Y: 100,
+	}, 7, 9)
+}
+
+func goldenPeerList() *Message {
+	req := &Message{Kind: KindHello, From: 3, To: 0, Corr: 7, Nonce: 9}
+	return NewPeerList(req, []PeerEntry{
+		{ID: 0, Live: true, Anchor: NoAnchor, X: 100, Y: 100, Addr: "10.0.0.1:9000", PubKey: []byte{0x01}},
+		{ID: 2, Live: false, Anchor: NoAnchor, X: 60, Y: 100},
+		{ID: 3, Live: true, Anchor: 1, X: 130, Y: 100, Addr: "10.0.0.3:9000", PubKey: []byte{0xAA, 0xBB, 0xCC, 0xDD}},
+	})
+}
+
+func TestGoldenHelloFrame(t *testing.T) {
+	m := goldenHello()
+	if got := hex.EncodeToString(m.Encode()); got != goldenHelloHex {
+		t.Fatalf("hello encoding drifted:\ngot  %s\nwant %s", got, goldenHelloHex)
+	}
+	raw, _ := hex.DecodeString(goldenHelloHex)
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode golden hello: %v", err)
+	}
+	info, err := back.DecodeHelloPayload()
+	if err != nil {
+		t.Fatalf("DecodeHelloPayload: %v", err)
+	}
+	if info.Addr != "10.0.0.3:9000" || string(info.PubKey) != "\xaa\xbb\xcc\xdd" ||
+		info.Anchor != 1 || info.X != 130 || info.Y != 100 {
+		t.Fatalf("golden hello fields wrong: %+v", info)
+	}
+}
+
+func TestGoldenPeerListFrame(t *testing.T) {
+	m := goldenPeerList()
+	if got := hex.EncodeToString(m.Encode()); got != goldenPeerListHex {
+		t.Fatalf("peer list encoding drifted:\ngot  %s\nwant %s", got, goldenPeerListHex)
+	}
+	raw, _ := hex.DecodeString(goldenPeerListHex)
+	back, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode golden peer list: %v", err)
+	}
+	entries, err := back.DecodePeerListPayload()
+	if err != nil {
+		t.Fatalf("DecodePeerListPayload: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3", len(entries))
+	}
+	if !entries[0].Live || entries[0].Anchor != NoAnchor || entries[0].Addr != "10.0.0.1:9000" {
+		t.Fatalf("entry 0 wrong: %+v", entries[0])
+	}
+	if entries[1].Live || entries[1].ID != 2 || entries[1].Addr != "" || len(entries[1].PubKey) != 0 {
+		t.Fatalf("entry 1 wrong: %+v", entries[1])
+	}
+	if entries[2].Anchor != 1 || entries[2].X != 130 {
+		t.Fatalf("entry 2 wrong: %+v", entries[2])
+	}
+}
+
+func TestHelloPayloadHardening(t *testing.T) {
+	m := goldenHello()
+	// Truncation anywhere in the payload is rejected.
+	for cut := 0; cut < len(m.Payload); cut++ {
+		bad := &Message{Kind: KindHello, Payload: m.Payload[:cut]}
+		if _, err := bad.DecodeHelloPayload(); err == nil {
+			t.Fatalf("hello payload truncated at %d accepted", cut)
+		}
+	}
+	// Trailing bytes are rejected.
+	bad := &Message{Kind: KindHello, Payload: append(append([]byte(nil), m.Payload...), 0)}
+	if _, err := bad.DecodeHelloPayload(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("want ErrTrailing, got %v", err)
+	}
+	// An address length past the limit is rejected before any read.
+	over := append([]byte(nil), m.Payload...)
+	binary.LittleEndian.PutUint16(over[4+8+8:], maxAddrLen+1)
+	bad = &Message{Kind: KindHello, Payload: over}
+	if _, err := bad.DecodeHelloPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("want ErrBadPayload for oversized addr, got %v", err)
+	}
+	// The wrong kind is rejected.
+	if _, err := NewLeave(1, 2, 3).DecodeHelloPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("hello decode on LEAVE should fail: %v", err)
+	}
+}
+
+func TestPeerListPayloadHardening(t *testing.T) {
+	m := goldenPeerList()
+	for cut := 0; cut < len(m.Payload); cut++ {
+		bad := &Message{Kind: KindPeerList, Payload: m.Payload[:cut]}
+		if _, err := bad.DecodePeerListPayload(); err == nil {
+			t.Fatalf("peer list truncated at %d accepted", cut)
+		}
+	}
+	// An absurd entry count is rejected before allocation.
+	count := append([]byte(nil), m.Payload...)
+	binary.LittleEndian.PutUint32(count, 1<<30)
+	bad := &Message{Kind: KindPeerList, Payload: count}
+	if _, err := bad.DecodePeerListPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("want ErrBadPayload for absurd count, got %v", err)
+	}
+	// A liveness byte other than 0/1 is rejected.
+	live := append([]byte(nil), m.Payload...)
+	live[4+4] = 7
+	bad = &Message{Kind: KindPeerList, Payload: live}
+	if _, err := bad.DecodePeerListPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("want ErrBadPayload for bad liveness, got %v", err)
+	}
+	// Trailing bytes are rejected.
+	bad = &Message{Kind: KindPeerList, Payload: append(append([]byte(nil), m.Payload...), 0)}
+	if _, err := bad.DecodePeerListPayload(); !errors.Is(err, ErrTrailing) {
+		t.Fatalf("want ErrTrailing, got %v", err)
+	}
+	if _, err := NewLeave(1, 2, 3).DecodePeerListPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("peer list decode on LEAVE should fail: %v", err)
+	}
+}
+
+func TestDigestAckEchoesAnnouncement(t *testing.T) {
+	// Singleton: the ack swaps endpoints and echoes the digest, with no
+	// payload.
+	ann := NewDigestAnnounce(1, 2, digest.Sum([]byte("d")), 3)
+	ack := NewDigestAck(ann)
+	if ack.From != 2 || ack.To != 1 || ack.Digest != ann.Digest || ack.Nonce != 3 || len(ack.Payload) != 0 {
+		t.Fatalf("singleton ack wrong: %+v", ack)
+	}
+	if ds, err := ack.DecodeDigestAckPayload(); err != nil || ds != nil {
+		t.Fatalf("singleton ack payload: ds=%v err=%v", ds, err)
+	}
+	// Batch: the ack echoes the digest run so the sender resolves every
+	// carried digest.
+	ds := []digest.Digest{digest.Sum([]byte("a")), digest.Sum([]byte("b"))}
+	back, err := NewDigestAck(NewDigestBatch(1, 2, ds, 4)).DecodeDigestAckPayload()
+	if err != nil {
+		t.Fatalf("DecodeDigestAckPayload: %v", err)
+	}
+	if len(back) != 2 || back[0] != ds[0] || back[1] != ds[1] {
+		t.Fatalf("batch ack digests wrong: %v", back)
+	}
+	// A ragged echo and the wrong kind are rejected.
+	bad := &Message{Kind: KindDigestAck, Payload: make([]byte, digest.Size+1)}
+	if _, err := bad.DecodeDigestAckPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("ragged ack should fail: %v", err)
+	}
+	if _, err := ann.DecodeDigestAckPayload(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("ack decode on DIGEST should fail: %v", err)
 	}
 }
 
@@ -207,4 +405,58 @@ func TestQuickDecodeNeverPanics(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzDecodeMessage hardens the frame decoder (and the directory
+// payload decoders behind it) against hostile input: no panic, and
+// anything Decode accepts must re-encode to the identical bytes.
+func FuzzDecodeMessage(f *testing.F) {
+	// Seed corpus: every constructor's valid frame, truncations of a
+	// representative frame, an unknown kind, and ragged directory
+	// payloads.
+	req := NewReqChild(1, 2, digest.Sum([]byte("t")), 7, 9)
+	hello := goldenHello()
+	seeds := [][]byte{
+		NewDigestAnnounce(1, 2, digest.Sum([]byte("d")), 3).Encode(),
+		NewDigestBatch(1, 2, []digest.Digest{digest.Sum([]byte("a")), digest.Sum([]byte("b"))}, 4).Encode(),
+		NewDigestAck(NewDigestBatch(1, 2, []digest.Digest{digest.Sum([]byte("a"))}, 4)).Encode(),
+		req.Encode(),
+		NewNotFound(req).Encode(),
+		hello.Encode(),
+		goldenPeerList().Encode(),
+		NewLeave(1, 2, 6).Encode(),
+	}
+	full := hello.Encode()
+	for _, cut := range []int{0, 1, 8, 20, len(full) / 2, len(full) - 1} {
+		seeds = append(seeds, full[:cut])
+	}
+	unknown := append([]byte(nil), full...)
+	unknown[0] = byte(kindMax)
+	seeds = append(seeds, unknown)
+	ragged := goldenPeerList()
+	ragged.Payload = ragged.Payload[:len(ragged.Payload)-3]
+	seeds = append(seeds, ragged.Encode())
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		m, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(m.Encode(), raw) {
+			t.Fatalf("accepted frame does not re-encode identically")
+		}
+		// The payload decoders must never panic on accepted frames.
+		switch m.Kind {
+		case KindHello:
+			_, _ = m.DecodeHelloPayload()
+		case KindPeerList:
+			_, _ = m.DecodePeerListPayload()
+		case KindDigestAck:
+			_, _ = m.DecodeDigestAckPayload()
+		case KindDigestBatch:
+			_, _ = m.DecodeDigestBatchPayload()
+		}
+	})
 }

@@ -3,7 +3,6 @@ package twoldag
 import (
 	"errors"
 	"fmt"
-	"math"
 	"time"
 
 	"github.com/twoldag/twoldag/internal/block"
@@ -306,12 +305,7 @@ func (c *config) resolveTopology() (*topology.Graph, error) {
 	if c.nodes <= 0 {
 		return nil, errors.New("twoldag: node count must be positive (use WithNodes or WithTopology)")
 	}
-	side := math.Max(200, 1000*float64(c.nodes)/50)
-	tc := topology.Config{
-		Nodes: c.nodes, Width: side, Height: side,
-		Range: math.Max(60, side/5), Seed: c.seed,
-	}
-	g, err := topology.Generate(tc)
+	g, err := topology.Deployment(c.nodes, c.seed)
 	if err != nil {
 		return nil, fmt.Errorf("twoldag: generating topology: %w", err)
 	}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/twoldag/twoldag/internal/cluster"
 	"github.com/twoldag/twoldag/internal/par"
 	"github.com/twoldag/twoldag/internal/topology"
 )
@@ -140,40 +141,13 @@ func fanOut(n, workers int, fn func(i int)) {
 
 // placeJoiner allocates an unused device ID and wires it into the
 // radio graph within communication range of the newest live device
-// (the paper's Sec. VII dynamic-membership extension). Shared by both
-// drivers so membership behaves identically.
+// (the paper's Sec. VII dynamic-membership extension). The rule lives
+// in internal/cluster so the in-process drivers and cross-host Hosts
+// place joiners identically.
 func placeJoiner(topo *topology.Graph, ids []NodeID, isLive func(NodeID) bool) (NodeID, error) {
-	if len(ids) == 0 {
-		return 0, errors.New("twoldag: cannot join an empty cluster")
-	}
-	// Collision safety: probe upward from the highest known ID until an
-	// ID unused by the graph is found — manually linked graphs may hold
-	// arbitrary IDs.
-	id := ids[len(ids)-1] + 1
-	for topo.Has(id) {
-		id++
-	}
-	// Anchor at the newest still-live device: anchoring at a silenced
-	// node would strand the joiner behind a dead radio.
-	anchor := ids[len(ids)-1]
-	for i := len(ids) - 1; i >= 0; i-- {
-		if isLive(ids[i]) {
-			anchor = ids[i]
-			break
-		}
-	}
-	ap, _ := topo.Position(anchor)
-	r := topo.CommRange()
-	if r <= 0 {
-		r = 2 // manually linked graphs: link to the anchor below
-	}
-	if err := topo.AddNode(id, topology.Point{X: ap.X + r/2, Y: ap.Y}); err != nil {
-		return 0, fmt.Errorf("twoldag: joining: %w", err)
-	}
-	if topo.Degree(id) == 0 {
-		if err := topo.Link(anchor, id); err != nil {
-			return 0, fmt.Errorf("twoldag: linking joiner: %w", err)
-		}
+	id, err := cluster.PlaceJoiner(topo, ids, isLive)
+	if err != nil {
+		return 0, fmt.Errorf("twoldag: %w", err)
 	}
 	return id, nil
 }

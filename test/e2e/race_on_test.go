@@ -1,0 +1,7 @@
+//go:build race
+
+package e2e
+
+// raceEnabled mirrors the test binary's -race flag so TestMain builds
+// the spawned twoldag binary with the same instrumentation.
+const raceEnabled = true
