@@ -5,6 +5,43 @@ import (
 	"testing"
 )
 
+// TestSparseTopologyFacade drives a short simulated run over each
+// re-exported sparse generator, pinning that the facade path (generate
+// → WithTopology → RunSlots) works end to end.
+func TestSparseTopologyFacade(t *testing.T) {
+	sw, err := SmallWorld(SmallWorldConfig{Nodes: 24, K: 2, Beta: 0.2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := GeoClustered(GeoClusteredConfig{Nodes: 24, ClusterSize: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*Topology{"smallworld": sw, "geoclustered": gc} {
+		rt, err := New(
+			WithSimulator(), WithTopology(g), WithSeed(9),
+			WithGamma(3), WithDifficulty(0), WithChunkSize(4),
+		)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sd := rt.(*SimDriver)
+		if err := sd.RunSlots(30); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		rep := sd.Report()
+		if rep.Blocks != 24*30 {
+			t.Fatalf("%s: blocks = %d, want %d", name, rep.Blocks, 24*30)
+		}
+		if rep.Audits == 0 {
+			t.Fatalf("%s: no audits ran", name)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestSampleProofEndToEnd(t *testing.T) {
 	c := testCluster(t, 10, 3)
 	ctx := context.Background()

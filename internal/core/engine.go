@@ -30,24 +30,62 @@ type Engine struct {
 	cache  *ledger.DigestCache
 	trust  *ledger.TrustStore
 	vcache *block.VerifyCache
+
+	// Generate scratch: neighbor list and Δ refs are assembled here
+	// instead of fresh slices per block. Generate is not safe for
+	// concurrent use with itself (it never was — seq assignment demands
+	// a single generator), so unsynchronized scratch is fine.
+	nbScratch  []identity.NodeID
+	refScratch []block.DigestRef
+}
+
+// EngineOptions overrides the state an engine would otherwise build for
+// itself. The simulator uses it to back thousands of engines with
+// per-node compact stores over one shared content-addressed arena and
+// one process-wide verification cache.
+type EngineOptions struct {
+	// Store replaces the default sharded ledger.NewStore. Must be owned
+	// by the engine's node ID.
+	Store *ledger.Store
+	// VerifyCache replaces the engine-private cache. Verification
+	// results are objective facts about sealed headers (the cache keys
+	// on header hash and records only successes), so sharing one across
+	// engines is sound and deduplicates the cached state n-fold.
+	VerifyCache *block.VerifyCache
 }
 
 // NewEngine builds the state machine for one node.
 func NewEngine(key identity.KeyPair, params block.Params, topo *topology.Graph) (*Engine, error) {
+	return NewEngineWith(key, params, topo, EngineOptions{})
+}
+
+// NewEngineWith builds the state machine for one node with explicit
+// storage backing (see EngineOptions).
+func NewEngineWith(key identity.KeyPair, params block.Params, topo *topology.Graph, opts EngineOptions) (*Engine, error) {
 	if topo == nil {
 		return nil, errors.New("core: Engine requires a topology")
 	}
 	if !topo.Has(key.ID) {
 		return nil, fmt.Errorf("core: node %v not in topology", key.ID)
 	}
+	store := opts.Store
+	if store == nil {
+		store = ledger.NewStore(key.ID)
+	} else if store.Owner() != key.ID {
+		return nil, fmt.Errorf("core: injected store owned by %v, engine is %v", store.Owner(), key.ID)
+	}
+	vcache := opts.VerifyCache
+	if vcache == nil {
+		vcache = block.NewVerifyCache()
+	}
 	return &Engine{
 		key:    key,
 		params: params,
 		topo:   topo,
-		store:  ledger.NewStore(key.ID),
+		store:  store,
 		cache:  ledger.NewDigestCache(),
 		trust:  ledger.NewTrustStore(),
-		vcache: block.NewVerifyCache(),
+		vcache: vcache,
 	}, nil
 }
 
@@ -127,14 +165,22 @@ func (e *Engine) OnDigestsFrom(from identity.NodeID, ds []digest.Digest) error {
 // Generate assembles, mines, signs and appends the node's next block
 // over the given body. It returns the block together with the digest
 // H(b^h) that must be announced to every neighbor.
+//
+// Generate must not be called concurrently with itself on the same
+// engine (sequence numbers are assigned from the store tail); other
+// engine methods may run concurrently with it.
 func (e *Engine) Generate(t uint32, body []byte) (*block.Block, digest.Digest, error) {
 	var prev digest.Digest
 	seq := uint32(e.store.Len())
 	if latest := e.store.Latest(); latest != nil {
 		prev = latest.Header.Hash()
 	}
-	refs := e.cache.Snapshot(e.key.ID, prev, e.topo.Neighbors(e.key.ID))
-	b, err := e.params.Build(e.key, t, seq, body, refs)
+	// Neighbor set and Δ refs go through engine scratch: Build copies
+	// both out, so the scratch is free for the next Generate. This keeps
+	// block generation allocation-flat for the simulator's hot loop.
+	e.nbScratch = e.topo.AppendNeighbors(e.nbScratch[:0], e.key.ID)
+	e.refScratch = e.cache.AppendSnapshot(e.refScratch[:0], e.key.ID, prev, e.nbScratch)
+	b, err := e.params.Build(e.key, t, seq, body, e.refScratch)
 	if err != nil {
 		return nil, digest.Digest{}, fmt.Errorf("core: generating block %v#%d: %w", e.key.ID, seq, err)
 	}

@@ -201,6 +201,18 @@ func (v *Validator) construct(ctx context.Context, ref block.Ref, blk *block.Blo
 	// termination (stores are immutable during one verification).
 	dead := make(map[digest.Digest]bool)
 
+	// One SelectionState and one neighbor buffer serve every probe of
+	// this attempt: strategies and candidate filtering run through their
+	// scratch fields, so a probe costs no per-step allocations.
+	st := SelectionState{
+		Validator:  v.cfg.Self,
+		Verifier:   ref.Node,
+		InVouchers: vouchers.has,
+		Topo:       v.cfg.Topo,
+		RNG:        v.cfg.RNG,
+	}
+	var nbBuf []identity.NodeID
+
 	// Lines 8–38: construct the path.
 	for {
 		// Line 9: extend for free from H_i (Algorithm 2).
@@ -228,7 +240,8 @@ func (v *Validator) construct(ctx context.Context, ref block.Ref, blk *block.Blo
 				return fmt.Errorf("core: verification canceled: %w", err)
 			}
 			cur := path[len(path)-1]
-			cands := v.candidates(cur.Node, tried, excluded)
+			cands := v.candidates(cur.Node, tried, excluded, nbBuf)
+			nbBuf = cands[:0]
 			if len(cands) == 0 {
 				// Lines 26–31: roll back past the exhausted node.
 				res.Rollbacks++
@@ -255,15 +268,9 @@ func (v *Validator) construct(ctx context.Context, ref block.Ref, blk *block.Blo
 				return fmt.Errorf("%w: %v", ErrStepBudget, ref)
 			}
 
-			jPrime := v.strategy.Next(&SelectionState{
-				Validator:  v.cfg.Self,
-				Verifier:   ref.Node,
-				Current:    cur.Node,
-				Candidates: cands,
-				InVouchers: vouchers.has,
-				Topo:       v.cfg.Topo,
-				RNG:        v.cfg.RNG,
-			})
+			st.Current = cur.Node
+			st.Candidates = cands
+			jPrime := v.strategy.Next(&st)
 			tried[jPrime] = true
 
 			// Lines 17–24: REQ_CHILD / RPY_CHILD exchange.
@@ -328,9 +335,11 @@ func (v *Validator) runTPS(path []PathStep, vouchers *voucherSet, dead map[diges
 // neighbors minus already-tried, rolled-back and blacklisted nodes.
 // Avoided peers (ValidatorConfig.Avoid) are then filtered out only
 // when at least one non-avoided candidate remains — suspicion routes
-// around a peer but never makes consensus unreachable.
-func (v *Validator) candidates(cur identity.NodeID, tried, excluded map[identity.NodeID]bool) []identity.NodeID {
-	nbs := v.cfg.Topo.Neighbors(cur)
+// around a peer but never makes consensus unreachable. The neighbor
+// fetch and the filtering share buf's backing array; the result aliases
+// it, so callers reuse it only after consuming the previous result.
+func (v *Validator) candidates(cur identity.NodeID, tried, excluded map[identity.NodeID]bool, buf []identity.NodeID) []identity.NodeID {
+	nbs := v.cfg.Topo.AppendNeighbors(buf[:0], cur)
 	eligible := nbs[:0]
 	nonAvoided := 0
 	for _, nb := range nbs {

@@ -25,6 +25,19 @@ type SelectionState struct {
 	// RNG breaks ties; nil means "lowest node ID", keeping selection
 	// fully deterministic.
 	RNG *rand.Rand
+
+	// Strategy scratch, reused when the caller keeps one SelectionState
+	// across probes (the validator does): neighbor fetches and tie sets
+	// then cost zero allocations per step.
+	nbScratch []identity.NodeID
+	zScratch  []identity.NodeID
+}
+
+// weight is Eq. 7 through the state's neighbor scratch — the
+// allocation-free form of Weight for selection hot loops.
+func (st *SelectionState) weight(cand identity.NodeID) float64 {
+	st.nbScratch = st.Topo.AppendNeighbors(st.nbScratch[:0], cand)
+	return weightOf(st.nbScratch, st.InVouchers, cand)
 }
 
 // SelectionStrategy picks the next responder from st.Candidates (which
@@ -37,10 +50,12 @@ type SelectionStrategy interface {
 // neighborhood {N(v̂) ∪ {v̂}} already present in R_i. Lower weight means
 // more potential fresh vouchers behind that candidate.
 func Weight(topo *topology.Graph, inVouchers func(identity.NodeID) bool, cand identity.NodeID) float64 {
+	return weightOf(topo.Neighbors(cand), inVouchers, cand)
+}
+
+func weightOf(nbs []identity.NodeID, inVouchers func(identity.NodeID) bool, cand identity.NodeID) float64 {
 	in := 0
-	n := 0
-	for _, nb := range topo.Neighbors(cand) {
-		n++
+	for _, nb := range nbs {
 		if inVouchers(nb) {
 			in++
 		}
@@ -48,7 +63,7 @@ func Weight(topo *topology.Graph, inVouchers func(identity.NodeID) bool, cand id
 	if inVouchers(cand) {
 		in++
 	}
-	return float64(in) / float64(n+1)
+	return float64(in) / float64(len(nbs)+1)
 }
 
 // WPS is Algorithm 1: Weighted Path Selection. The zero value is ready
@@ -61,10 +76,10 @@ type WPS struct{}
 // (lines 8–10); otherwise choose among members not in R_i (lines
 // 11–13).
 func (WPS) Next(st *SelectionState) identity.NodeID {
-	var z []identity.NodeID
+	z := st.zScratch[:0]
 	best := 2.0 // weights are ≤ 1
 	for _, cand := range st.Candidates {
-		w := Weight(st.Topo, st.InVouchers, cand)
+		w := st.weight(cand)
 		switch {
 		case w < best:
 			best = w
@@ -74,6 +89,7 @@ func (WPS) Next(st *SelectionState) identity.NodeID {
 			z = append(z, cand)
 		}
 	}
+	st.zScratch = z[:0]
 	if len(z) == 1 {
 		return z[0]
 	}
@@ -122,7 +138,7 @@ func (ShortestPathFirst) Next(st *SelectionState) identity.NodeID {
 		if !ok {
 			h = bestHops // unreachable sorts last
 		}
-		w := Weight(st.Topo, st.InVouchers, cand)
+		w := st.weight(cand)
 		switch {
 		case h < bestHops || (h == bestHops && w < bestWeight):
 			bestHops, bestWeight = h, w

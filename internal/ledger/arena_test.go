@@ -1,0 +1,172 @@
+package ledger
+
+import (
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+func TestArenaPutGetDedupe(t *testing.T) {
+	a := NewArena()
+	key := identity.Deterministic(1, 1)
+	blocks := chainFor(t, key, 3, nil)
+	for _, b := range blocks {
+		d := a.Put(b)
+		if d != b.Header.Hash() {
+			t.Fatal("Put returned wrong digest")
+		}
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
+	}
+	// Content addressing: re-putting an identical block is a no-op.
+	a.Put(blocks[0])
+	if a.Len() != 3 {
+		t.Fatalf("Len after duplicate Put = %d, want 3", a.Len())
+	}
+	got, ok := a.Get(blocks[1].Header.Hash())
+	if !ok || got != blocks[1] {
+		t.Fatal("Get did not return the stored block by reference")
+	}
+	if _, ok := a.Get(digest.Sum([]byte("missing"))); ok {
+		t.Fatal("Get hit for unknown digest")
+	}
+}
+
+// TestCompactStoreMatchesSharded drives identical logs through a
+// sharded store and an arena-backed compact store and requires every
+// read-side answer to match: the compact representation is a space
+// optimization, never a semantic change.
+func TestCompactStoreMatchesSharded(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	target := digest.Sum([]byte("neighbor block"))
+	blocks := chainFor(t, key, 5, []block.DigestRef{{Node: 9, Digest: target}})
+
+	sharded := NewStore(1)
+	compact := NewStoreInArena(1, NewArena())
+	for _, b := range blocks {
+		if err := sharded.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := compact.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for _, s := range []*Store{sharded, compact} {
+		if s.Len() != 5 || s.Owner() != 1 {
+			t.Fatalf("Len/Owner wrong: %d %v", s.Len(), s.Owner())
+		}
+		if got, ok := s.ByHash(blocks[2].Header.Hash()); !ok || got != blocks[2] {
+			t.Fatal("ByHash lookup failed")
+		}
+		if _, ok := s.ByHash(digest.Sum([]byte("missing"))); ok {
+			t.Fatal("ByHash hit for unknown digest")
+		}
+		if oldest, ok := s.OldestContaining(target); !ok || oldest.Header.Seq != 0 {
+			t.Fatal("OldestContaining should return the oldest match")
+		}
+		if s.CountContaining(target) != 5 {
+			t.Fatalf("CountContaining = %d, want 5", s.CountContaining(target))
+		}
+		if _, ok := s.OldestContaining(digest.Sum([]byte("nope"))); ok {
+			t.Fatal("OldestContaining hit for unreferenced digest")
+		}
+	}
+
+	m := block.DefaultSizeModel(100)
+	if sharded.ModelBits(m) != compact.ModelBits(m) {
+		t.Fatalf("ModelBits diverge: %d vs %d", sharded.ModelBits(m), compact.ModelBits(m))
+	}
+
+	// View fences must behave identically, including a fence captured
+	// before the first reference to a digest.
+	for n := 0; n <= 5; n++ {
+		vs, vc := sharded.ViewAt(n), compact.ViewAt(n)
+		for _, d := range []digest.Digest{target, blocks[0].Header.Hash(), blocks[3].Header.Hash()} {
+			bs, oks := vs.OldestContaining(d)
+			bc, okc := vc.OldestContaining(d)
+			if oks != okc || bs != bc {
+				t.Fatalf("ViewAt(%d).OldestContaining diverges", n)
+			}
+		}
+	}
+}
+
+// TestCompactIndexStaysCurrentAfterLazyBuild queries the compact
+// responder index early (forcing the lazy build) and then keeps
+// appending: post-build appends must land in the index incrementally.
+func TestCompactIndexStaysCurrentAfterLazyBuild(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	target := digest.Sum([]byte("late ref"))
+	blocks := chainFor(t, key, 4, []block.DigestRef{{Node: 9, Digest: target}})
+
+	s := NewStoreInArena(1, NewArena())
+	if err := s.Append(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Force the lazy build with only one block in the log.
+	if s.CountContaining(target) != 1 {
+		t.Fatal("index wrong after lazy build")
+	}
+	for _, b := range blocks[1:] {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.CountContaining(target) != 4 {
+		t.Fatalf("CountContaining = %d, want 4 after post-build appends", s.CountContaining(target))
+	}
+	if oldest, ok := s.OldestContaining(blocks[2].Header.Hash()); !ok || oldest.Header.Seq != 3 {
+		t.Fatal("post-build append missing from index")
+	}
+}
+
+// TestCompactByHashScopedToOwner: the arena is shared across owners, but
+// each store's ByHash must only answer for its own log.
+func TestCompactByHashScopedToOwner(t *testing.T) {
+	a := NewArena()
+	k1, k2 := identity.Deterministic(1, 1), identity.Deterministic(2, 1)
+	s1, s2 := NewStoreInArena(1, a), NewStoreInArena(2, a)
+	b1 := chainFor(t, k1, 1, nil)[0]
+	b2 := chainFor(t, k2, 1, nil)[0]
+	if err := s1.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 2 {
+		t.Fatalf("arena Len = %d, want 2", a.Len())
+	}
+	if _, ok := s1.ByHash(b2.Header.Hash()); ok {
+		t.Fatal("s1 answered for s2's block")
+	}
+	if got, ok := s2.ByHash(b2.Header.Hash()); !ok || got != b2 {
+		t.Fatal("s2 missed its own block")
+	}
+}
+
+func TestDigestCacheAppendSnapshotReusesScratch(t *testing.T) {
+	c := NewDigestCache()
+	d1, d2 := digest.Sum([]byte("a")), digest.Sum([]byte("b"))
+	c.Update(2, d1)
+	c.Update(3, d2)
+	scratch := make([]block.DigestRef, 0, 8)
+	prev := digest.Sum([]byte("prev"))
+	got := c.AppendSnapshot(scratch[:0], 1, prev, []identity.NodeID{3, 2, 7})
+	want := c.Snapshot(1, prev, []identity.NodeID{3, 2, 7})
+	if len(got) != len(want) {
+		t.Fatalf("len mismatch: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d differs: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &scratch[:1][0] {
+		t.Fatal("AppendSnapshot did not reuse the scratch backing array")
+	}
+}

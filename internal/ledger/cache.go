@@ -1,6 +1,7 @@
 package ledger
 
 import (
+	"sort"
 	"sync"
 
 	"github.com/twoldag/twoldag/internal/block"
@@ -11,21 +12,53 @@ import (
 // DigestCache is A_i: the latest block-header digest received from each
 // neighbor (paper Sec. III-D). When neighbor j announces a new digest,
 // it replaces j's previous entry.
+//
+// The representation is a pair of parallel slices sorted by node ID
+// rather than a map: a cache entry costs 4+32 bytes plus slice
+// bookkeeping instead of ~100+ bytes of map machinery, which is what
+// lets a 10k–100k-node simulation keep one cache per node. The neighbor
+// set is effectively fixed after the first slot (inserts are rare;
+// steady-state updates are in-place by binary search), so the sorted
+// representation is also no slower on the announcement hot path.
 type DigestCache struct {
-	mu     sync.RWMutex
-	latest map[identity.NodeID]digest.Digest
+	mu      sync.RWMutex
+	nodes   []identity.NodeID // sorted ascending
+	digests []digest.Digest   // digests[i] belongs to nodes[i]
 }
 
 // NewDigestCache returns an empty cache.
 func NewDigestCache() *DigestCache {
-	return &DigestCache{latest: make(map[identity.NodeID]digest.Digest)}
+	return &DigestCache{}
+}
+
+// find returns the index of j in c.nodes and whether it is present;
+// when absent, the index is where j would be inserted. Caller holds
+// c.mu (either mode).
+func (c *DigestCache) find(j identity.NodeID) (int, bool) {
+	i := sort.Search(len(c.nodes), func(k int) bool { return c.nodes[k] >= j })
+	return i, i < len(c.nodes) && c.nodes[i] == j
+}
+
+// set is the single-entry upsert. Caller holds c.mu for writing.
+func (c *DigestCache) set(j identity.NodeID, d digest.Digest) {
+	i, ok := c.find(j)
+	if ok {
+		c.digests[i] = d
+		return
+	}
+	c.nodes = append(c.nodes, 0)
+	copy(c.nodes[i+1:], c.nodes[i:])
+	c.nodes[i] = j
+	c.digests = append(c.digests, digest.Digest{})
+	copy(c.digests[i+1:], c.digests[i:])
+	c.digests[i] = d
 }
 
 // Update records the newest digest announced by node j.
 func (c *DigestCache) Update(j identity.NodeID, d digest.Digest) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.latest[j] = d
+	c.set(j, d)
 }
 
 // UpdateBatch records from[i]'s announcement of ds[i] for every i, in
@@ -37,7 +70,7 @@ func (c *DigestCache) UpdateBatch(from []identity.NodeID, ds []digest.Digest) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for i, j := range from {
-		c.latest[j] = ds[i]
+		c.set(j, ds[i])
 	}
 }
 
@@ -45,22 +78,30 @@ func (c *DigestCache) UpdateBatch(from []identity.NodeID, ds []digest.Digest) {
 func (c *DigestCache) Get(j identity.NodeID) (digest.Digest, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	d, ok := c.latest[j]
-	return d, ok
+	i, ok := c.find(j)
+	if !ok {
+		return digest.Digest{}, false
+	}
+	return c.digests[i], true
 }
 
 // Forget drops a neighbor's entry (dynamic leave).
 func (c *DigestCache) Forget(j identity.NodeID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delete(c.latest, j)
+	i, ok := c.find(j)
+	if !ok {
+		return
+	}
+	c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+	c.digests = append(c.digests[:i], c.digests[i+1:]...)
 }
 
 // Len returns |A_i|.
 func (c *DigestCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.latest)
+	return len(c.nodes)
 }
 
 // Snapshot assembles the Δ field for a new block (Sec. III-D): the
@@ -69,12 +110,24 @@ func (c *DigestCache) Len() int {
 // with no cached digest yet are included with the zero digest so the
 // field layout is stable; zero entries never match Contains.
 func (c *DigestCache) Snapshot(owner identity.NodeID, prev digest.Digest, neighbors []identity.NodeID) []block.DigestRef {
+	return c.AppendSnapshot(make([]block.DigestRef, 0, len(neighbors)+1), owner, prev, neighbors)
+}
+
+// AppendSnapshot is Snapshot writing into dst (reusing its capacity),
+// for generation hot loops that keep per-worker scratch instead of
+// allocating a Δ slice per block. The appended region is copied out by
+// block.Params.Build, so dst may be reused immediately after the block
+// is built.
+func (c *DigestCache) AppendSnapshot(dst []block.DigestRef, owner identity.NodeID, prev digest.Digest, neighbors []identity.NodeID) []block.DigestRef {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	refs := make([]block.DigestRef, 0, len(neighbors)+1)
-	refs = append(refs, block.DigestRef{Node: owner, Digest: prev})
+	dst = append(dst, block.DigestRef{Node: owner, Digest: prev})
 	for _, j := range neighbors {
-		refs = append(refs, block.DigestRef{Node: j, Digest: c.latest[j]})
+		var d digest.Digest
+		if i, ok := c.find(j); ok {
+			d = c.digests[i]
+		}
+		dst = append(dst, block.DigestRef{Node: j, Digest: d})
 	}
-	return refs
+	return dst
 }

@@ -304,6 +304,76 @@ func TestTrustStoreSharedSealedReads(t *testing.T) {
 	}
 }
 
+// TestTrustStoreSealedHeadersShared pins the scale-mode contract:
+// a header that is already sealed is stored by reference, not cloned,
+// so thousands of validators index one arena-resident header.
+func TestTrustStoreSealedHeadersShared(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	ts := NewTrustStore()
+	h := &chainFor(t, key, 1, nil)[0].Header
+	if !h.Sealed() {
+		t.Fatal("built header should be sealed")
+	}
+	ts.Add(h)
+	got, ok := ts.Get(h.Hash())
+	if !ok {
+		t.Fatal("Get miss")
+	}
+	if got != h {
+		t.Fatal("sealed header was cloned instead of shared")
+	}
+}
+
+// TestTrustStoreCapEvictsFIFO checks the bounded mode scale runs use:
+// oldest-inserted headers leave first, both indexes shrink with them,
+// and evicted headers can be re-learned.
+func TestTrustStoreCapEvictsFIFO(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	ts := NewTrustStore()
+	ts.SetCap(2)
+	blocks := chainFor(t, key, 4, nil)
+	hs := make([]*block.Header, 4)
+	for i := range blocks {
+		hs[i] = &blocks[i].Header
+	}
+	ts.Add(hs[0])
+	ts.Add(hs[1])
+	ts.Add(hs[2]) // evicts hs[0]
+	if ts.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ts.Len())
+	}
+	if ts.Has(hs[0].Hash()) {
+		t.Fatal("oldest header not evicted")
+	}
+	if !ts.Has(hs[1].Hash()) || !ts.Has(hs[2].Hash()) {
+		t.Fatal("newer headers evicted")
+	}
+	// hs[1]'s Δ contains hs[0]'s hash, so the child index still answers
+	// for the evicted block's digest; hs[0] itself was genesis (zero
+	// prev), so its eviction removed no child entries... but adding
+	// hs[3] must evict hs[1] and with it the child entry for hs[0].
+	if _, ok := ts.ChildOf(hs[0].Hash()); !ok {
+		t.Fatal("child index lost a live entry")
+	}
+	ts.Add(hs[3]) // evicts hs[1]
+	if _, ok := ts.ChildOf(hs[0].Hash()); ok {
+		t.Fatal("child index kept an evicted entry")
+	}
+	// Accounting shrinks with evictions: two live headers, one real
+	// ref each (hs[2]'s prev, hs[3]'s prev).
+	m := block.DefaultSizeModel(100)
+	if got, want := ts.ModelBits(m), int64(2)*608+int64(2)*256; got != want {
+		t.Fatalf("ModelBits = %d, want %d", got, want)
+	}
+	// An evicted header can be re-learned.
+	if !ts.Add(hs[1]) {
+		t.Fatal("re-adding evicted header failed")
+	}
+	if !ts.Has(hs[1].Hash()) {
+		t.Fatal("re-added header missing")
+	}
+}
+
 func TestTrustStoreModelBits(t *testing.T) {
 	key := identity.Deterministic(1, 1)
 	ts := NewTrustStore()

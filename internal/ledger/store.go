@@ -72,21 +72,52 @@ type storeShard struct {
 	contains map[digest.Digest][]*block.Block // ascending seq = oldest first
 }
 
+// containsEntry is the compact-mode responder index record for one
+// referenced digest: only the oldest matching sequence (Alg. 4 wants
+// exactly that block) and the match count (|C_j'(b)|, Prop. 5) are ever
+// queried, so the full ascending list the sharded index keeps is
+// unnecessary.
+type containsEntry struct {
+	oldest uint32
+	count  uint32
+}
+
 // Store is S_i: the append-only log of one node's own blocks, with an
 // index answering the responder query of Algorithm 4 — "the oldest of my
-// blocks whose Δ contains digest d". The log itself sits behind one
-// RWMutex; the digest-keyed indexes are sharded by digest prefix so
-// responder lookups from many concurrent audits spread across locks.
+// blocks whose Δ contains digest d".
+//
+// A store runs in one of two index modes, chosen at construction:
+//
+//   - Sharded (NewStore): the digest-keyed indexes are sharded by digest
+//     prefix so responder lookups from many concurrent audits spread
+//     across locks. This is the live-node mode, sized for one node per
+//     process.
+//   - Compact (NewStoreInArena): sealed blocks are published to a shared
+//     content-addressed Arena and the store keeps only the ordered log of
+//     references plus a single {oldest, count} map, built lazily on the
+//     first responder query. This is the simulator mode: with 10k–100k
+//     stores in one process, 32 eagerly-allocated maps per store dwarf
+//     the data they index, and zero-audit scaling runs never pay for a
+//     responder index at all.
 type Store struct {
 	mu        sync.RWMutex
 	owner     identity.NodeID
 	blocks    []*block.Block
 	bodyBytes int64
+	refCount  int64 // Σ len(Header.Digests) over the log, for O(1) ModelBits
 
+	// Compact mode (arena != nil): contains is nil until the first
+	// responder query builds it; Append keeps it current afterwards.
+	arena    *Arena
+	indexed  bool
+	contains map[digest.Digest]containsEntry
+
+	// Sharded mode (arena == nil).
 	shards [storeShardCount]storeShard
 }
 
-// NewStore creates an empty log owned by the given node.
+// NewStore creates an empty log owned by the given node, with the
+// sharded digest indexes suited to a single node per process.
 func NewStore(owner identity.NodeID) *Store {
 	s := &Store{owner: owner}
 	for i := range s.shards {
@@ -94,6 +125,16 @@ func NewStore(owner identity.NodeID) *Store {
 		s.shards[i].contains = make(map[digest.Digest][]*block.Block)
 	}
 	return s
+}
+
+// NewStoreInArena creates an empty log owned by the given node in
+// compact mode: appended blocks are also published to the shared
+// content-addressed arena, hash lookups are answered by the arena, and
+// the responder index is a single lazily-built compact map. Many stores
+// may share one arena; this is the representation that lets the
+// simulator hold tens of thousands of ledgers in one process.
+func NewStoreInArena(owner identity.NodeID, a *Arena) *Store {
+	return &Store{owner: owner, arena: a}
 }
 
 func (s *Store) shard(d digest.Digest) *storeShard {
@@ -129,6 +170,17 @@ func (s *Store) Append(b *block.Block) error {
 	}
 	s.blocks = append(s.blocks, cp)
 	s.bodyBytes += int64(len(cp.Body))
+	s.refCount += int64(len(cp.Header.Digests))
+	if s.arena != nil {
+		s.arena.Put(cp)
+		// The compact responder index is lazy: until the first
+		// OldestContaining/CountContaining builds it, appends cost
+		// nothing here; afterwards they keep it current.
+		if s.indexed {
+			s.indexContains(cp)
+		}
+		return nil
+	}
 	// Index updates take the shard locks while still holding the main
 	// lock: appends are serialized anyway (the seq check demands it), and
 	// publishing under the shard lock keeps each index internally
@@ -147,6 +199,44 @@ func (s *Store) Append(b *block.Block) error {
 		cs.mu.Unlock()
 	}
 	return nil
+}
+
+// indexContains folds one block into the compact responder index.
+// Caller holds s.mu for writing.
+func (s *Store) indexContains(b *block.Block) {
+	for _, ref := range b.Header.Digests {
+		if ref.Digest.IsZero() {
+			continue
+		}
+		e, ok := s.contains[ref.Digest]
+		if !ok {
+			e.oldest = b.Header.Seq
+		}
+		e.count++
+		s.contains[ref.Digest] = e
+	}
+}
+
+// ensureIndexed builds the compact responder index from the log on the
+// first query. Double-checked so steady-state queries stay on the read
+// lock.
+func (s *Store) ensureIndexed() {
+	s.mu.RLock()
+	done := s.indexed
+	s.mu.RUnlock()
+	if done {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.indexed {
+		return
+	}
+	s.contains = make(map[digest.Digest]containsEntry)
+	for _, b := range s.blocks {
+		s.indexContains(b)
+	}
+	s.indexed = true
 }
 
 // Len returns |S_i|.
@@ -180,6 +270,21 @@ func (s *Store) Latest() *block.Block {
 
 // ByHash returns the (sealed, read-only) block whose header hashes to d.
 func (s *Store) ByHash(d digest.Digest) (*block.Block, bool) {
+	if s.arena != nil {
+		// The arena is shared across many owners: membership in *this*
+		// store means the arena's block occupies its sequence slot in
+		// the log.
+		b, ok := s.arena.Get(d)
+		if !ok || b.Header.Origin != s.owner {
+			return nil, false
+		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if int(b.Header.Seq) >= len(s.blocks) || s.blocks[b.Header.Seq] != b {
+			return nil, false
+		}
+		return b, true
+	}
 	sh := s.shard(d)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -187,25 +292,49 @@ func (s *Store) ByHash(d digest.Digest) (*block.Block, bool) {
 	return b, ok
 }
 
+// oldestContainingAt answers the responder's selection rule restricted
+// to the first limit blocks (limit = MaxUint32 for the whole log). Both
+// index modes append in ascending sequence order, so the oldest
+// in-fence match is the index head whenever it predates the fence.
+func (s *Store) oldestContainingAt(d digest.Digest, limit uint32) (*block.Block, bool) {
+	if s.arena != nil {
+		s.ensureIndexed()
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		e, ok := s.contains[d]
+		if !ok || e.oldest >= limit {
+			return nil, false
+		}
+		return s.blocks[e.oldest], true
+	}
+	sh := s.shard(d)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	bs := sh.contains[d]
+	if len(bs) == 0 || bs[0].Header.Seq >= limit {
+		return nil, false
+	}
+	return bs[0], true
+}
+
 // OldestContaining implements the responder's selection rule (Alg. 4,
 // Eq. 10–11): among the owner's blocks whose Δ contains d, return the
 // oldest (sealed, read-only). The second result is false when no block
 // matches.
 func (s *Store) OldestContaining(d digest.Digest) (*block.Block, bool) {
-	sh := s.shard(d)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	bs := sh.contains[d]
-	if len(bs) == 0 {
-		return nil, false
-	}
-	return bs[0], true
+	return s.oldestContainingAt(d, ^uint32(0))
 }
 
 // CountContaining returns |C_j'(b)|: how many of the owner's blocks
 // reference digest d. Exposed for the micro-loop analysis tests
 // (Prop. 5).
 func (s *Store) CountContaining(d digest.Digest) int {
+	if s.arena != nil {
+		s.ensureIndexed()
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int(s.contains[d].count)
+	}
 	sh := s.shard(d)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
@@ -226,11 +355,10 @@ func (s *Store) BodyBytes() int64 {
 func (s *Store) ModelBits(m block.SizeModel) int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	total := int64(0)
-	for _, b := range s.blocks {
-		total += int64(m.ConstantBits() + m.FH*len(b.Header.Digests) + m.C)
-	}
-	return total
+	// The per-block terms only depend on each block's digest count, so
+	// the running refCount makes this O(1) — scaling experiments call it
+	// per node per sample point.
+	return int64(len(s.blocks))*int64(m.ConstantBits()+m.C) + int64(m.FH)*s.refCount
 }
 
 // Headers returns the stored (sealed, read-only) headers in sequence

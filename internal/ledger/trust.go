@@ -20,6 +20,13 @@ type TrustStore struct {
 	// contains d, in insertion order.
 	children  map[digest.Digest][]digest.Digest
 	totalRefs int64
+
+	// FIFO bound (capLimit > 0): order records insertion order from
+	// head onward; the scale runs cap H_i so ten-thousand-validator
+	// simulations stay bounded while live nodes default to unbounded.
+	capLimit int
+	order    []digest.Digest
+	head     int
 }
 
 // NewTrustStore returns an empty H_i.
@@ -30,10 +37,27 @@ func NewTrustStore() *TrustStore {
 	}
 }
 
+// SetCap bounds H_i to at most n headers, evicting oldest-inserted
+// first. Eviction order is a pure function of insertion order, so a
+// capped store stays deterministic. n <= 0 restores the default
+// unbounded behavior. Call before the store sees traffic: entries
+// already present only start being tracked for eviction from the next
+// Add on.
+func (t *TrustStore) SetCap(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.capLimit = n
+}
+
 // Add stores a verified header. Duplicates are ignored (and detected
-// before any copying). It returns true when the header was newly added.
-// The stored copy is sealed; readers receive it by shared reference.
+// before any copying). It returns true when the header was newly
+// added. Sealed headers — immutable by contract everywhere in this
+// codebase — are stored by shared reference, so the thousands of
+// validators of a scaled simulation index one arena-resident header
+// instead of cloning it apiece; unsealed headers are defensively
+// cloned.
 func (t *TrustStore) Add(h *block.Header) bool {
+	sealed := h.Sealed()
 	hh := h.Hash()
 	t.mu.RLock()
 	_, dup := t.headers[hh]
@@ -41,7 +65,10 @@ func (t *TrustStore) Add(h *block.Header) bool {
 	if dup {
 		return false
 	}
-	cp := h.CloneSealed()
+	cp := h
+	if !sealed {
+		cp = h.CloneSealed()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.headers[hh]; ok {
@@ -55,7 +82,48 @@ func (t *TrustStore) Add(h *block.Header) bool {
 		t.children[ref.Digest] = append(t.children[ref.Digest], hh)
 		t.totalRefs++
 	}
+	if t.capLimit > 0 {
+		t.order = append(t.order, hh)
+		for len(t.headers) > t.capLimit && t.head < len(t.order) {
+			t.evictLocked(t.order[t.head])
+			t.head++
+		}
+		// Compact the order slice once the dead prefix dominates, so
+		// the backing array doesn't grow with total insertions.
+		if t.head > len(t.order)/2 && t.head > t.capLimit {
+			t.order = append(t.order[:0], t.order[t.head:]...)
+			t.head = 0
+		}
+	}
 	return true
+}
+
+// evictLocked removes the header with the given hash from both
+// indexes. Caller holds t.mu for writing.
+func (t *TrustStore) evictLocked(hh digest.Digest) {
+	h, ok := t.headers[hh]
+	if !ok {
+		return
+	}
+	delete(t.headers, hh)
+	for _, ref := range h.Digests {
+		if ref.Digest.IsZero() {
+			continue
+		}
+		t.totalRefs--
+		list := t.children[ref.Digest]
+		for k, x := range list {
+			if x == hh {
+				list = append(list[:k], list[k+1:]...)
+				break
+			}
+		}
+		if len(list) == 0 {
+			delete(t.children, ref.Digest)
+		} else {
+			t.children[ref.Digest] = list
+		}
+	}
 }
 
 // Has reports whether a header with the given hash is stored.

@@ -59,17 +59,10 @@ func (v View) Get(seq uint32) (*block.Block, error) {
 
 // OldestContaining answers the responder's selection rule (Alg. 4,
 // Eq. 10–11) restricted to the prefix: among the owner's first Len()
-// blocks whose Δ contains d, return the oldest. Appends land at the
-// tail of the per-digest index in ascending sequence order, so the
-// oldest in-fence match is the index head whenever it predates the
-// fence.
+// blocks whose Δ contains d, return the oldest. Both index modes append
+// in ascending sequence order, so the oldest in-fence match is the
+// index head whenever it predates the fence — the fence check alone
+// keeps views exact in compact (arena-backed) stores too.
 func (v View) OldestContaining(d digest.Digest) (*block.Block, bool) {
-	sh := v.store.shard(d)
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	bs := sh.contains[d]
-	if len(bs) == 0 || bs[0].Header.Seq >= v.limit {
-		return nil, false
-	}
-	return bs[0], true
+	return v.store.oldestContainingAt(d, v.limit)
 }

@@ -62,6 +62,10 @@ func BenchmarkAnnounceBatch(b *testing.B) {
 // announcement, audits) under the serial scheduler and the parallel
 // worker pool. Both produce byte-identical reports (see
 // TestParallelSchedulerIsDeterministic); the difference is wall clock.
+// The n=10k variant is the scale benchmark behind ROADMAP item 5: a
+// 10k-node small-world network stepping three slots with audits live
+// (VerifyLag below the horizon) on the chunked phases and arena-backed
+// compact stores, so ns/op tracks per-slot cost at scale.
 func BenchmarkHotpathSimStep(b *testing.B) {
 	for _, workers := range []int{1, 0} {
 		name := "serial"
@@ -89,6 +93,39 @@ func BenchmarkHotpathSimStep(b *testing.B) {
 			}
 		})
 	}
+	b.Run("n=10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g, err := topology.SmallWorld(topology.SmallWorldConfig{
+				Nodes: 10_000, K: 3, Beta: 0.2, Seed: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := New(Config{
+				Graph:         g,
+				Seed:          1,
+				Slots:         3,
+				BodyBytes:     100_000,
+				Gamma:         8,
+				VerifyLag:     1,
+				PipelineDepth: 2,
+				ChunkSize:     256,
+				TrustCap:      1024,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := s.Run()
+			s.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Blocks != 30_000 {
+				b.Fatalf("blocks = %d, want 30000", rep.Blocks)
+			}
+		}
+	})
 }
 
 // BenchmarkHotpathPipeline measures the full slotted run (generation,

@@ -5,42 +5,75 @@ import (
 	"testing"
 
 	"github.com/twoldag/twoldag/internal/attack"
+	"github.com/twoldag/twoldag/internal/topology"
 )
 
 // TestParallelSchedulerIsDeterministic asserts the acceptance criterion
 // of the parallel slot scheduler: the same Seed must produce an
 // identical Report — every storage/comm/consensus series and per-node
-// sample — for any worker count, including the serial fallback. All
-// three slot phases run on the worker pool, so this covers the
-// receiver-batched announcement phase too: per-receiver batches keep
-// (sender, slot-order) ordering, making cache contents — and hence the
-// Report — independent of delivery scheduling.
+// sample — for any (workers, pipeline depth, chunk size) combination,
+// including the serial fallback, and on sparse generated topologies as
+// well as the default random-geometric one. All three slot phases run
+// range-chunked on the worker pool, so this covers the receiver-batched
+// announcement phase too: per-receiver batches keep (sender,
+// slot-order) ordering, making cache contents — and hence the Report —
+// independent of delivery scheduling and chunk geometry.
 func TestParallelSchedulerIsDeterministic(t *testing.T) {
-	run := func(workers int) *Report {
-		t.Helper()
-		cfg := smallConfig(42)
-		cfg.Malicious = 2
-		cfg.Behavior = attack.KindSilent
-		cfg.RetainVerifiedBlocks = true
-		cfg.Workers = workers
-		s, err := New(cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		rep, err := s.Run()
-		if err != nil {
-			t.Fatal(err)
-		}
-		return rep
+	topos := []struct {
+		name  string
+		graph func(t *testing.T) *topology.Graph
+	}{
+		{"geometric", func(t *testing.T) *topology.Graph { return nil }}, // smallConfig's Topo
+		{"smallworld", func(t *testing.T) *topology.Graph {
+			g, err := topology.SmallWorld(topology.SmallWorldConfig{Nodes: 12, K: 2, Beta: 0.3, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"geoclustered", func(t *testing.T) *topology.Graph {
+			g, err := topology.GeoClustered(topology.GeoClusteredConfig{Nodes: 12, ClusterSize: 4, Seed: 42})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
 	}
+	for _, tc := range topos {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(workers, depth, chunk int) *Report {
+				t.Helper()
+				cfg := smallConfig(42)
+				cfg.Graph = tc.graph(t)
+				cfg.Malicious = 2
+				cfg.Behavior = attack.KindSilent
+				cfg.RetainVerifiedBlocks = true
+				cfg.Workers = workers
+				cfg.PipelineDepth = depth
+				cfg.ChunkSize = chunk
+				s, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return rep
+			}
 
-	serial := run(1)
-	for _, workers := range []int{2, 8} {
-		parallel := run(workers)
-		if !reflect.DeepEqual(serial, parallel) {
-			t.Fatalf("Workers=%d diverged from serial run:\nserial:   %+v\nparallel: %+v",
-				workers, serial, parallel)
-		}
+			serial := run(1, 0, 0)
+			for _, workers := range []int{2, 8} {
+				for _, depth := range []int{0, 2} {
+					for _, chunk := range []int{0, 1, 5, 100} {
+						if got := run(workers, depth, chunk); !reflect.DeepEqual(serial, got) {
+							t.Fatalf("Workers=%d Depth=%d Chunk=%d diverged from serial run:\nserial:   %+v\nparallel: %+v",
+								workers, depth, chunk, serial, got)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -51,6 +84,8 @@ func TestParallelSchedulerRepeatable(t *testing.T) {
 		t.Helper()
 		cfg := smallConfig(7)
 		cfg.RandomPeriodMax = 2
+		// Capped H_i: eviction order must be as repeatable as insertion.
+		cfg.TrustCap = 8
 		s, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -90,6 +90,13 @@ type Config struct {
 	Strategy core.SelectionStrategy
 	// DisableTrust turns off H_i caching (TPS ablation).
 	DisableTrust bool
+	// TrustCap bounds each validator's H_i to this many headers with
+	// deterministic oldest-first eviction (ledger.TrustStore.SetCap).
+	// 0 (the default) keeps H_i unbounded — the paper's behavior and
+	// the live driver's. Scale runs set it: with every node auditing
+	// every slot, unbounded trust retention is the dominant memory
+	// term past a few thousand nodes.
+	TrustCap int
 	// DisableAudits turns off per-generation audits (used by the
 	// consensus-probe experiment, which runs its own verifications).
 	DisableAudits bool
@@ -111,6 +118,22 @@ type Config struct {
 	// random choice inside a slot draws from a per-node stream, so a
 	// given Seed produces an identical Report for any worker count.
 	Workers int
+	// ChunkSize sets how many nodes one worker claims at a time inside
+	// the per-slot phases. At 10k–100k nodes, one pool task per node
+	// spends more time on dispatch (an atomic claim per index) than on
+	// the work; range-chunked tasks amortize that to one claim per
+	// ChunkSize nodes and let each worker reuse its scratch across the
+	// chunk. 0 picks a size from the worker count. Chunking only
+	// changes which worker runs which node — every per-node draw still
+	// comes from that node's private stream — so the Report is
+	// byte-identical for any (Workers, PipelineDepth, ChunkSize).
+	ChunkSize int
+	// SampleMemStats fills Report.Mem with process heap statistics at
+	// Finalize (runtime.ReadMemStats). Off by default: the sample
+	// reflects the whole process, not just this run, and it is the one
+	// Report field that is NOT a pure function of the Config — leave it
+	// off where reports are compared across runs.
+	SampleMemStats bool
 	// PipelineDepth bounds how many slots of audit duty may be in
 	// flight behind generation: at depth d the slotted scheduler moves
 	// on to slot t+1 generation while up to d audit slots are still
@@ -144,6 +167,12 @@ func (c Config) validate() error {
 	}
 	if c.Malicious < 0 {
 		return fmt.Errorf("%w: malicious %d", ErrBadConfig, c.Malicious)
+	}
+	if c.ChunkSize < 0 {
+		return fmt.Errorf("%w: chunk size %d", ErrBadConfig, c.ChunkSize)
+	}
+	if c.TrustCap < 0 {
+		return fmt.Errorf("%w: trust cap %d", ErrBadConfig, c.TrustCap)
 	}
 	return nil
 }
@@ -216,20 +245,40 @@ type Sim struct {
 	audGate   []*sync.WaitGroup
 	closed    bool
 
+	// Per-node state is ordinal-indexed: ids assigns each node a dense
+	// ordinal at join, idx inverts it, and everything else is a slice
+	// over ordinals — at 10k–100k nodes, slice indexing replaces a map
+	// probe on every hot-path touch and the per-node bookkeeping costs
+	// a few words instead of map buckets. engines[i]/validators[i] are
+	// nil for silenced nodes, behaviors[i] is nil for honest ones.
 	ids        []identity.NodeID
 	idx        map[identity.NodeID]int
-	engines    map[identity.NodeID]*core.Engine
-	validators map[identity.NodeID]*core.Validator
-	behaviors  map[identity.NodeID]attack.Behavior
+	engines    []*core.Engine
+	validators []*core.Validator
+	behaviors  []attack.Behavior
 	periods    []int
+	// arena holds every sealed block in the run exactly once,
+	// content-addressed; per-node stores are compact indexes over it
+	// (ledger.NewStoreInArena). vcache is the one process-wide
+	// header-verification cache every validator shares.
+	arena  *ledger.Arena
+	vcache *block.VerifyCache
+	// chunk is the resolved phase chunk size (Config.ChunkSize or auto).
+	chunk int
 	// nodeRNG[i] is node i's private random stream; all of a node's
 	// per-slot draws (body bytes, audit target, selection tie-breaks)
 	// come from it, so slot outcomes are independent of worker
 	// scheduling.
 	nodeRNG []*rand.Rand
-	// vmu serializes externally driven audits per validator (AuditFrom):
-	// a validator's RNG stream is not safe for concurrent draws.
-	vmu map[identity.NodeID]*sync.Mutex
+	// vmu[i] serializes externally driven audits per validator
+	// (AuditFrom): a validator's RNG stream is not safe for concurrent
+	// draws.
+	vmu []*sync.Mutex
+	// fenceFree recycles audit-job fence slices between the main loop
+	// and the audit stage (the channel provides the happens-before
+	// edge), so pipelined slots at 10k nodes stop allocating an
+	// O(nodes) view slice each.
+	fenceFree chan []ledger.View
 
 	comm         []*commCell
 	retainedBits []int64
@@ -292,6 +341,24 @@ type Report struct {
 	Audits, Failures int
 	// Blocks is the total generated block count (Prop. 1's |B|).
 	Blocks int
+	// Mem holds the end-of-run heap sample when Config.SampleMemStats is
+	// set; nil otherwise. It is process-level observability, not part of
+	// the deterministic report surface.
+	Mem *MemReport
+}
+
+// MemReport is the heap footprint sampled at Finalize
+// (runtime.ReadMemStats), for scaling runs that report memory alongside
+// time: bytes/node vs n is the headline curve of the scaling
+// experiment.
+type MemReport struct {
+	// HeapInuseBytes is spans-in-use; HeapAllocBytes live objects.
+	HeapInuseBytes  uint64
+	HeapAllocBytes  uint64
+	TotalAllocBytes uint64
+	NumGC           uint32
+	// BytesPerNode is HeapInuseBytes / |V|.
+	BytesPerNode uint64
 }
 
 // New builds a simulation.
@@ -336,11 +403,15 @@ func New(cfg Config) (*Sim, error) {
 		params:       params,
 		rng:          rng,
 		workers:      workers,
+		chunk:        cfg.ChunkSize,
 		ids:          ids,
 		idx:          make(map[identity.NodeID]int, len(ids)),
-		engines:      make(map[identity.NodeID]*core.Engine, len(ids)),
-		validators:   make(map[identity.NodeID]*core.Validator, len(ids)),
-		vmu:          make(map[identity.NodeID]*sync.Mutex, len(ids)),
+		engines:      make([]*core.Engine, len(ids)),
+		validators:   make([]*core.Validator, len(ids)),
+		behaviors:    make([]attack.Behavior, len(ids)),
+		vmu:          make([]*sync.Mutex, len(ids)),
+		arena:        ledger.NewArena(),
+		vcache:       block.NewVerifyCache(),
 		nodeRNG:      make([]*rand.Rand, len(ids)),
 		comm:         make([]*commCell, len(ids)),
 		retainedBits: make([]int64, len(ids)),
@@ -355,16 +426,23 @@ func New(cfg Config) (*Sim, error) {
 		s.idx[id] = i
 		key := identity.Deterministic(id, cfg.Seed)
 		pairs = append(pairs, key)
-		eng, err := core.NewEngine(key, params, g)
+		// Every engine stores through the shared content-addressed arena
+		// (bodies held once, per-node compact indexes) and shares the
+		// process-wide verification cache — the memory shape that fits
+		// 10k–100k ledgers in one process.
+		eng, err := core.NewEngineWith(key, params, g, core.EngineOptions{
+			Store:       ledger.NewStoreInArena(id, s.arena),
+			VerifyCache: s.vcache,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("sim: engine %v: %w", id, err)
 		}
-		s.engines[id] = eng
+		s.engines[i] = eng
 		s.comm[i] = &commCell{}
 		// A fixed per-node stream, derived from the run seed and the
 		// node ID with golden-ratio mixing so nearby seeds decorrelate.
 		s.nodeRNG[i] = rand.New(rand.NewSource(nodeSeed(cfg.Seed, id)))
-		s.vmu[id] = &sync.Mutex{}
+		s.vmu[i] = &sync.Mutex{}
 		s.periods[i] = 1
 		if cfg.RandomPeriodMax >= 2 {
 			s.periods[i] = 1 + rng.Intn(cfg.RandomPeriodMax)
@@ -375,29 +453,15 @@ func New(cfg Config) (*Sim, error) {
 		return nil, fmt.Errorf("sim: building ring: %w", err)
 	}
 	s.ring = ring
-	s.behaviors = attack.Assign(ids, cfg.Malicious, cfg.Behavior, rng)
+	for id, b := range attack.Assign(ids, cfg.Malicious, cfg.Behavior, rng) {
+		s.behaviors[s.idx[id]] = b
+	}
 	for i, id := range ids {
-		eng := s.engines[id]
-		trust := eng.Trust()
-		if cfg.DisableTrust {
-			trust = nil
-		}
-		v, err := core.NewValidator(core.ValidatorConfig{
-			Self:        id,
-			Gamma:       cfg.Gamma,
-			Params:      params,
-			Ring:        ring,
-			Topo:        g,
-			Trust:       trust,
-			Strategy:    cfg.Strategy,
-			RNG:         s.nodeRNG[i],
-			StepBudget:  cfg.StepBudget,
-			VerifyCache: eng.VerifyCache(),
-		})
+		v, err := s.newValidator(id, i)
 		if err != nil {
 			return nil, fmt.Errorf("sim: validator %v: %w", id, err)
 		}
-		s.validators[id] = v
+		s.validators[i] = v
 	}
 	s.pool = par.NewPool(workers)
 	if cfg.PipelineDepth > 1 {
@@ -405,6 +469,7 @@ func New(cfg Config) (*Sim, error) {
 		s.jobs = make(chan *auditJob, cfg.PipelineDepth-1)
 		s.acks = make(chan struct{}, cfg.PipelineDepth)
 		s.stageDone = make(chan struct{})
+		s.fenceFree = make(chan []ledger.View, cfg.PipelineDepth+1)
 		s.audGate = make([]*sync.WaitGroup, len(ids))
 		for i := range s.audGate {
 			s.audGate[i] = &sync.WaitGroup{}
@@ -412,6 +477,48 @@ func New(cfg Config) (*Sim, error) {
 		go s.auditStage()
 	}
 	return s, nil
+}
+
+// newValidator builds node id's persistent validator over the shared
+// ring, topology and verification cache.
+func (s *Sim) newValidator(id identity.NodeID, i int) (*core.Validator, error) {
+	trust := s.engines[i].Trust()
+	if s.cfg.DisableTrust {
+		trust = nil
+	} else if s.cfg.TrustCap > 0 {
+		trust.SetCap(s.cfg.TrustCap)
+	}
+	return core.NewValidator(core.ValidatorConfig{
+		Self:        id,
+		Gamma:       s.cfg.Gamma,
+		Params:      s.params,
+		Ring:        s.ring,
+		Topo:        s.graph,
+		Trust:       trust,
+		Strategy:    s.cfg.Strategy,
+		RNG:         s.nodeRNG[i],
+		StepBudget:  s.cfg.StepBudget,
+		VerifyCache: s.engines[i].VerifyCache(),
+	})
+}
+
+// engineOf resolves a node ID to its live engine; ok is false for
+// unknown and silenced nodes alike.
+func (s *Sim) engineOf(id identity.NodeID) (*core.Engine, bool) {
+	i, known := s.idx[id]
+	if !known || s.engines[i] == nil {
+		return nil, false
+	}
+	return s.engines[i], true
+}
+
+// behaviorOf returns node id's attack behavior (Honest for everyone
+// not assigned one).
+func (s *Sim) behaviorOf(id identity.NodeID) attack.Behavior {
+	if i, known := s.idx[id]; known && s.behaviors[i] != nil {
+		return s.behaviors[i]
+	}
+	return attack.Honest{}
 }
 
 // Close drains any in-flight audit slots and releases the scheduler's
@@ -441,12 +548,14 @@ func (s *Sim) Ring() *identity.Ring { return s.ring }
 // Model returns the analytic size model in use.
 func (s *Sim) Model() block.SizeModel { return s.model }
 
-// Stores returns every node's block store (for DAG analysis).
+// Stores returns every live node's block store (for DAG analysis).
 func (s *Sim) Stores() map[identity.NodeID]*ledger.Store {
 	s.drain()
 	out := make(map[identity.NodeID]*ledger.Store, len(s.ids))
-	for id, e := range s.engines {
-		out[id] = e.Store()
+	for i, id := range s.ids {
+		if s.engines[i] != nil {
+			out[id] = s.engines[i].Store()
+		}
 	}
 	return out
 }
@@ -454,9 +563,11 @@ func (s *Sim) Stores() map[identity.NodeID]*ledger.Store {
 // MaliciousNodes returns the IDs assigned a malicious behavior, in
 // arbitrary order.
 func (s *Sim) MaliciousNodes() []identity.NodeID {
-	out := make([]identity.NodeID, 0, len(s.behaviors))
-	for id := range s.behaviors {
-		out = append(out, id)
+	var out []identity.NodeID
+	for i, id := range s.ids {
+		if s.behaviors[i] != nil {
+			out = append(out, id)
+		}
 	}
 	return out
 }
@@ -507,8 +618,8 @@ func (s *Sim) Step() error {
 	}
 	s.slot++
 	var gens []int
-	for i, id := range s.ids {
-		if _, live := s.engines[id]; !live {
+	for i := range s.ids {
+		if s.engines[i] == nil {
 			continue // silenced via dynamic membership
 		}
 		if (s.slot-1)%s.periods[i] == 0 {
@@ -516,7 +627,11 @@ func (s *Sim) Step() error {
 		}
 	}
 
-	// Phase 1: parallel block generation.
+	// Phase 1: parallel block generation, chunked so each worker claims
+	// a contiguous range of generators and reuses one body buffer across
+	// it (Engine's Build copies the body out). Which worker generates
+	// which node is irrelevant to the outcome: every draw comes from the
+	// node's own stream.
 	type genResult struct {
 		ref  block.Ref
 		dig  digest.Digest
@@ -524,29 +639,31 @@ func (s *Sim) Step() error {
 		err  error
 	}
 	results := make([]genResult, len(gens))
-	s.pool.Run(len(gens), func(k int) {
-		i := gens[k]
-		id := s.ids[i]
-		if s.audGate != nil {
-			// Pipelined: the node's outstanding audit duties draw from
-			// the same random stream — let them finish first so the
-			// stream keeps its barriered order.
-			s.audGate[i].Wait()
-		}
+	s.pool.RunChunked(len(gens), s.chunk, func(lo, hi int) {
 		body := make([]byte, s.cfg.SyntheticBodyBytes)
-		s.nodeRNG[i].Read(body)
-		b, d, err := s.engines[id].Generate(uint32(s.slot), body)
-		if err != nil {
-			results[k] = genResult{err: fmt.Errorf("sim: slot %d: %w", s.slot, err)}
-			return
+		for k := lo; k < hi; k++ {
+			i := gens[k]
+			id := s.ids[i]
+			if s.audGate != nil {
+				// Pipelined: the node's outstanding audit duties draw from
+				// the same random stream — let them finish first so the
+				// stream keeps its barriered order.
+				s.audGate[i].Wait()
+			}
+			s.nodeRNG[i].Read(body)
+			b, d, err := s.engines[i].Generate(uint32(s.slot), body)
+			if err != nil {
+				results[k] = genResult{err: fmt.Errorf("sim: slot %d: %w", s.slot, err)}
+				continue
+			}
+			// DAG construction traffic: one digest per neighbor (Sec. III-D).
+			deg := s.graph.Degree(id)
+			s.comm[i].add(metrics.Construction, int64(deg)*int64(s.model.DigestBits()))
+			s.obs.OnBlockSealed(events.BlockSealed{
+				Node: id, Ref: b.Header.Ref(), Digest: d, Slot: uint32(s.slot),
+			})
+			results[k] = genResult{ref: b.Header.Ref(), dig: d, bits: s.blockModelBits(&b.Header)}
 		}
-		// DAG construction traffic: one digest per neighbor (Sec. III-D).
-		deg := s.graph.Degree(id)
-		s.comm[i].add(metrics.Construction, int64(deg)*int64(s.model.DigestBits()))
-		s.obs.OnBlockSealed(events.BlockSealed{
-			Node: id, Ref: b.Header.Ref(), Digest: d, Slot: uint32(s.slot),
-		})
-		results[k] = genResult{ref: b.Header.Ref(), dig: d, bits: s.blockModelBits(&b.Header)}
 	})
 
 	// Phase 2: bookkeeping in node order, then receiver-centric batched
@@ -618,7 +735,7 @@ func (s *Sim) buildAuditJob(gens []int) *auditJob {
 	job := &auditJob{slot: s.slot}
 	if !s.cfg.DisableAudits {
 		for _, i := range gens {
-			if _, malicious := s.behaviors[s.ids[i]]; !malicious {
+			if s.behaviors[i] == nil {
 				job.auditors = append(job.auditors, i)
 			}
 		}
@@ -626,15 +743,27 @@ func (s *Sim) buildAuditJob(gens []int) *auditJob {
 	job.eligible = s.eligibleTargets()
 	job.targets = s.blockLog
 	if s.jobs != nil {
-		job.fence = make([]ledger.View, len(s.ids))
-		for i, id := range s.ids {
-			if eng, live := s.engines[id]; live {
+		// Fence slices recycle through fenceFree once their slot
+		// retires; every entry is rewritten here (zero View for
+		// silenced nodes), so a recycled slice carries no stale state.
+		select {
+		case job.fence = <-s.fenceFree:
+		default:
+		}
+		if cap(job.fence) < len(s.ids) {
+			job.fence = make([]ledger.View, len(s.ids))
+		}
+		job.fence = job.fence[:len(s.ids)]
+		for i := range s.ids {
+			if eng := s.engines[i]; eng != nil {
 				job.fence[i] = eng.Store().View()
+			} else {
+				job.fence[i] = ledger.View{}
 			}
 		}
 	}
-	for i, id := range s.ids {
-		if _, live := s.engines[id]; live {
+	for i := range s.ids {
+		if s.engines[i] != nil {
 			job.storeSum += s.storeBits[i]
 		}
 		job.constrSum += s.comm[i].construction.Load()
@@ -646,17 +775,21 @@ func (s *Sim) buildAuditJob(gens []int) *auditJob {
 // (or the main pool in barriered mode) and retires the slot into the
 // report. Jobs run strictly in slot order, so the post-audit state it
 // reads (trust stores, retained bits, consensus traffic) is exactly
-// the barriered schedule's end-of-slot state.
+// the barriered schedule's end-of-slot state. Audits are chunked like
+// the other phases; every audit draws only from its own node's stream
+// and charges comm atomically, so the partition is outcome-neutral.
 func (s *Sim) runAuditJob(job *auditJob) {
 	pool := s.audPool
 	if pool == nil {
 		pool = s.pool
 	}
-	pool.Run(len(job.auditors), func(k int) {
-		i := job.auditors[k]
-		s.auditDuty(i, job)
-		if s.audGate != nil {
-			s.audGate[i].Done()
+	pool.RunChunked(len(job.auditors), s.chunk, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := job.auditors[k]
+			s.auditDuty(i, job)
+			if s.audGate != nil {
+				s.audGate[i].Done()
+			}
 		}
 	})
 	s.snapshotSlot(job)
@@ -667,6 +800,12 @@ func (s *Sim) runAuditJob(job *auditJob) {
 func (s *Sim) auditStage() {
 	for job := range s.jobs {
 		s.runAuditJob(job)
+		if job.fence != nil {
+			select {
+			case s.fenceFree <- job.fence:
+			default:
+			}
+		}
 		s.acks <- struct{}{}
 	}
 	close(s.stageDone)
@@ -702,8 +841,9 @@ func (s *Sim) drain() {
 // the singleton shim over the batched delivery path (deliverBatched),
 // kept for one-at-a-time external drive (SubmitAs/AnnounceAs).
 func (s *Sim) announce(id identity.NodeID, d digest.Digest) error {
-	for _, nb := range s.graph.Neighbors(id) {
-		eng, live := s.engines[nb]
+	s.annNbs = s.graph.AppendNeighbors(s.annNbs[:0], id)
+	for _, nb := range s.annNbs {
+		eng, live := s.engineOf(nb)
 		if !live {
 			continue // silenced neighbors miss the announcement
 		}
@@ -735,10 +875,10 @@ func (s *Sim) deliverBatched(froms []identity.NodeID, ds []digest.Digest) error 
 		nbs := s.graph.AppendNeighbors(s.annNbs[:0], from)
 		s.annNbs = nbs
 		for _, nb := range nbs {
-			if _, live := s.engines[nb]; !live {
+			j, known := s.idx[nb]
+			if !known || s.engines[j] == nil {
 				continue // silenced neighbors miss the announcement
 			}
-			j := s.idx[nb]
 			if len(s.annFrom[j]) == 0 {
 				recvs = append(recvs, j)
 			}
@@ -752,16 +892,18 @@ func (s *Sim) deliverBatched(froms []identity.NodeID, ds []digest.Digest) error 
 		errs = append(errs, nil)
 	}
 	s.annErrs = errs
-	s.pool.Run(len(recvs), func(k int) {
-		j := recvs[k]
-		to := s.ids[j]
-		if err := s.engines[to].OnDigestBatch(s.annFrom[j], s.annDigs[j]); err != nil {
-			errs[k] = fmt.Errorf("sim: delivering batch to %v: %w", to, err)
-			return
+	s.pool.RunChunked(len(recvs), s.chunk, func(lo, hi int) {
+		for k := lo; k < hi; k++ {
+			j := recvs[k]
+			to := s.ids[j]
+			if err := s.engines[j].OnDigestBatch(s.annFrom[j], s.annDigs[j]); err != nil {
+				errs[k] = fmt.Errorf("sim: delivering batch to %v: %w", to, err)
+				continue
+			}
+			s.obs.OnDigestBatchDelivered(events.DigestBatchDelivered{
+				To: to, From: s.annFrom[j], Digests: s.annDigs[j],
+			})
 		}
-		s.obs.OnDigestBatchDelivered(events.DigestBatchDelivered{
-			To: to, From: s.annFrom[j], Digests: s.annDigs[j],
-		})
 	})
 	var first error
 	for _, err := range errs {
@@ -788,7 +930,7 @@ func (s *Sim) auditDuty(i int, job *auditJob) {
 		return
 	}
 	f := &simFetcher{sim: s, validator: id, fence: job.fence}
-	res, err := s.validators[id].Verify(context.Background(), target, f)
+	res, err := s.validators[i].Verify(context.Background(), target, f)
 	s.observeOutcome(id, target, res, err)
 	if err == nil && res.Consensus && s.cfg.RetainVerifiedBlocks {
 		// The validator holds on to the retrieved block (header+body).
@@ -855,8 +997,8 @@ func (s *Sim) snapshotSlot(job *auditJob) {
 	s.snappedSlot = job.slot
 	storage := job.storeSum
 	var cons int64
-	for i, id := range s.ids {
-		if eng, live := s.engines[id]; live {
+	for i := range s.ids {
+		if eng := s.engines[i]; eng != nil {
 			storage += s.retainedBits[i]
 			if !s.cfg.DisableTrust {
 				storage += eng.Trust().ModelBits(s.model)
@@ -899,7 +1041,7 @@ func (s *Sim) snapshot() {
 // storageBits is the node's total footprint under the size model.
 // Silenced nodes contribute nothing (their state left the network).
 func (s *Sim) storageBits(id identity.NodeID) int64 {
-	eng, live := s.engines[id]
+	eng, live := s.engineOf(id)
 	if !live {
 		return 0
 	}
@@ -957,6 +1099,17 @@ func (s *Sim) Finalize() *Report {
 		r.NodeStorageBits[i] = s.storageBits(id)
 		r.NodeCommBits[i] = s.comm[i].totalBits()
 	}
+	if s.cfg.SampleMemStats && r.Mem == nil {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		r.Mem = &MemReport{
+			HeapInuseBytes:  ms.HeapInuse,
+			HeapAllocBytes:  ms.HeapAlloc,
+			TotalAllocBytes: ms.TotalAlloc,
+			NumGC:           ms.NumGC,
+			BytesPerNode:    ms.HeapInuse / uint64(len(s.ids)),
+		}
+	}
 	return r
 }
 
@@ -1004,10 +1157,10 @@ func (s *Sim) SubmitAs(id identity.NodeID, body []byte) (block.Ref, error) {
 func (s *Sim) GenerateAs(id identity.NodeID, body []byte) (block.Ref, digest.Digest, error) {
 	s.drain()
 	i, known := s.idx[id]
-	eng, live := s.engines[id]
-	if !known || !live {
+	if !known || s.engines[i] == nil {
 		return block.Ref{}, digest.Digest{}, fmt.Errorf("sim: unknown or silenced node %v", id)
 	}
+	eng := s.engines[i]
 	b, d, err := eng.Generate(uint32(s.slot), body)
 	if err != nil {
 		return block.Ref{}, digest.Digest{}, fmt.Errorf("sim: slot %d: %w", s.slot, err)
@@ -1042,7 +1195,7 @@ func (s *Sim) AnnounceBatch(froms []identity.NodeID, ds []digest.Digest) error {
 		return fmt.Errorf("sim: announce batch length mismatch: %d senders, %d digests", len(froms), len(ds))
 	}
 	for _, id := range froms {
-		if _, live := s.engines[id]; !live {
+		if _, live := s.engineOf(id); !live {
 			return fmt.Errorf("sim: unknown or silenced node %v", id)
 		}
 	}
@@ -1053,7 +1206,7 @@ func (s *Sim) AnnounceBatch(froms []identity.NodeID, ds []digest.Digest) error {
 // proofs). The result is shared sealed store state — read-only.
 func (s *Sim) BlockOf(ref block.Ref) (*block.Block, error) {
 	s.drain()
-	eng, live := s.engines[ref.Node]
+	eng, live := s.engineOf(ref.Node)
 	if !live {
 		return nil, fmt.Errorf("sim: unknown or silenced node %v", ref.Node)
 	}
@@ -1067,11 +1220,12 @@ func (s *Sim) BlockOf(ref block.Ref) (*block.Block, error) {
 // per-validator mutex because its RNG stream is not concurrency-safe.
 func (s *Sim) AuditFrom(ctx context.Context, validator identity.NodeID, target block.Ref) (*core.Result, error) {
 	s.drain()
-	v, ok := s.validators[validator]
-	if !ok {
+	i, known := s.idx[validator]
+	if !known || s.validators[i] == nil {
 		return nil, fmt.Errorf("sim: unknown or silenced validator %v", validator)
 	}
-	mu := s.vmu[validator]
+	v := s.validators[i]
+	mu := s.vmu[i]
 	mu.Lock()
 	res, err := v.Verify(ctx, target, &simFetcher{sim: s, validator: validator})
 	mu.Unlock()
@@ -1095,52 +1249,40 @@ func (s *Sim) JoinNode(id identity.NodeID) error {
 	if err := s.ring.Register(key.ID, key.Public); err != nil {
 		return fmt.Errorf("sim: registering joiner: %w", err)
 	}
-	eng, err := core.NewEngine(key, s.params, s.graph)
+	eng, err := core.NewEngineWith(key, s.params, s.graph, core.EngineOptions{
+		Store:       ledger.NewStoreInArena(id, s.arena),
+		VerifyCache: s.vcache,
+	})
 	if err != nil {
 		return fmt.Errorf("sim: joiner engine: %w", err)
 	}
 	i := len(s.ids)
 	s.idx[id] = i
 	s.ids = append(s.ids, id)
-	s.engines[id] = eng
+	s.engines = append(s.engines, eng)
+	s.behaviors = append(s.behaviors, nil)
 	s.comm = append(s.comm, &commCell{})
 	s.retainedBits = append(s.retainedBits, 0)
 	s.storeBits = append(s.storeBits, 0)
 	s.periods = append(s.periods, 1)
 	s.nodeRNG = append(s.nodeRNG, rand.New(rand.NewSource(nodeSeed(s.cfg.Seed, id))))
-	s.vmu[id] = &sync.Mutex{}
+	s.vmu = append(s.vmu, &sync.Mutex{})
 	if s.audGate != nil {
 		s.audGate = append(s.audGate, &sync.WaitGroup{})
 	}
-	trust := eng.Trust()
-	if s.cfg.DisableTrust {
-		trust = nil
-	}
-	v, err := core.NewValidator(core.ValidatorConfig{
-		Self:        id,
-		Gamma:       s.cfg.Gamma,
-		Params:      s.params,
-		Ring:        s.ring,
-		Topo:        s.graph,
-		Trust:       trust,
-		Strategy:    s.cfg.Strategy,
-		RNG:         s.nodeRNG[i],
-		StepBudget:  s.cfg.StepBudget,
-		VerifyCache: eng.VerifyCache(),
-	})
+	v, err := s.newValidator(id, i)
 	if err != nil {
 		return fmt.Errorf("sim: joiner validator: %w", err)
 	}
-	s.validators[id] = v
+	s.validators = append(s.validators, v)
 	return nil
 }
 
 // Silenced reports whether id is known to the simulation but no
 // longer live (its engine was removed by Silence).
 func (s *Sim) Silenced(id identity.NodeID) bool {
-	_, known := s.idx[id]
-	_, live := s.engines[id]
-	return known && !live
+	i, known := s.idx[id]
+	return known && s.engines[i] == nil
 }
 
 // Silence takes a node offline: its engine and validator leave the
@@ -1149,11 +1291,12 @@ func (s *Sim) Silenced(id identity.NodeID) bool {
 // topology, exactly like a crashed radio.
 func (s *Sim) Silence(id identity.NodeID) error {
 	s.drain()
-	if _, live := s.engines[id]; !live {
+	i, known := s.idx[id]
+	if !known || s.engines[i] == nil {
 		return fmt.Errorf("sim: unknown or already silenced node %v", id)
 	}
-	delete(s.engines, id)
-	delete(s.validators, id)
+	s.engines[i] = nil
+	s.validators[i] = nil
 	return nil
 }
 
@@ -1193,8 +1336,8 @@ func (s *Sim) BlockCount() int { return len(s.blockLog) }
 
 // IsMalicious reports whether id carries a malicious behavior.
 func (s *Sim) IsMalicious(id identity.NodeID) bool {
-	_, ok := s.behaviors[id]
-	return ok
+	i, known := s.idx[id]
+	return known && s.behaviors[i] != nil
 }
 
 // simFetcher resolves PoP requests against the simulation state,
@@ -1214,10 +1357,7 @@ type simFetcher struct {
 var _ core.Fetcher = (*simFetcher)(nil)
 
 func (f *simFetcher) behavior(j identity.NodeID) attack.Behavior {
-	if b, ok := f.sim.behaviors[j]; ok {
-		return b
-	}
-	return attack.Honest{}
+	return f.sim.behaviorOf(j)
 }
 
 // RequestChild implements core.Fetcher with Algorithm 4 semantics.
@@ -1229,7 +1369,8 @@ func (f *simFetcher) RequestChild(_ context.Context, j identity.NodeID, target d
 
 	var h *block.Header
 	var err error
-	if eng, ok := s.engines[j]; ok {
+	eng, live := s.engineOf(j)
+	if live {
 		if f.fence != nil {
 			h, err = core.NewResponder(f.fence[s.idx[j]]).ChildFor(target)
 		} else {
@@ -1240,15 +1381,13 @@ func (f *simFetcher) RequestChild(_ context.Context, j identity.NodeID, target d
 	}
 	beh := f.behavior(j)
 	h, err = beh.OnChildRequest(f.validator, j, target, h, err)
-	if beh.Responds() {
-		if _, ok := s.engines[j]; ok {
-			if h != nil {
-				// Responder transmits RPY_CHILD with the header.
-				s.comm[s.idx[j]].add(metrics.Consensus, s.headerModelBits(h))
-			} else {
-				// Negative reply: digest-sized NAK.
-				s.comm[s.idx[j]].add(metrics.Consensus, int64(s.model.DigestBits()))
-			}
+	if beh.Responds() && live {
+		if h != nil {
+			// Responder transmits RPY_CHILD with the header.
+			s.comm[s.idx[j]].add(metrics.Consensus, s.headerModelBits(h))
+		} else {
+			// Negative reply: digest-sized NAK.
+			s.comm[s.idx[j]].add(metrics.Consensus, int64(s.model.DigestBits()))
 		}
 	}
 	return h, err
@@ -1261,7 +1400,8 @@ func (f *simFetcher) FetchBlock(_ context.Context, ref block.Ref) (*block.Block,
 
 	var b *block.Block
 	var err error
-	if eng, ok := s.engines[ref.Node]; ok {
+	eng, live := s.engineOf(ref.Node)
+	if live {
 		if f.fence != nil {
 			b, err = core.NewResponder(f.fence[s.idx[ref.Node]]).Block(ref)
 		} else {
@@ -1272,13 +1412,11 @@ func (f *simFetcher) FetchBlock(_ context.Context, ref block.Ref) (*block.Block,
 	}
 	beh := f.behavior(ref.Node)
 	b, err = beh.OnBlockRequest(f.validator, ref.Node, b, err)
-	if beh.Responds() {
-		if _, ok := s.engines[ref.Node]; ok {
-			if b != nil {
-				s.comm[s.idx[ref.Node]].add(metrics.Consensus, s.blockModelBits(&b.Header))
-			} else {
-				s.comm[s.idx[ref.Node]].add(metrics.Consensus, int64(s.model.DigestBits()))
-			}
+	if beh.Responds() && live {
+		if b != nil {
+			s.comm[s.idx[ref.Node]].add(metrics.Consensus, s.blockModelBits(&b.Header))
+		} else {
+			s.comm[s.idx[ref.Node]].add(metrics.Consensus, int64(s.model.DigestBits()))
 		}
 	}
 	return b, err

@@ -1,0 +1,231 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// This file holds the sparse topology generators for large-scale
+// simulation (10k–100k nodes). The paper's Sec. VI deployment
+// (Generate) links by pairwise distance, which costs O(n) per placed
+// node — fine at paper scale, quadratic at 100k. The generators here
+// build on a zero-range graph with explicit Link calls, so construction
+// is O(n·degree) and neighbor lists stay O(degree) regardless of n.
+// Both are fully determined by their config (including Seed) and
+// connected by construction at every valid parameter choice.
+
+// SmallWorldConfig drives SmallWorld.
+type SmallWorldConfig struct {
+	Nodes int
+	// K is the lattice half-degree: each node starts linked to its K
+	// nearest ring successors (so the base degree is 2K). 0 = 3.
+	K int
+	// Beta is the Watts–Strogatz rewiring probability applied to each
+	// lattice edge of offset ≥ 2. Offset-1 ring edges are never rewired,
+	// which keeps a Hamiltonian cycle intact — the graph stays connected
+	// for every Beta in [0, 1].
+	Beta float64
+	Seed int64
+}
+
+func (c SmallWorldConfig) withDefaults() SmallWorldConfig {
+	if c.K == 0 {
+		c.K = 3
+	}
+	return c
+}
+
+func (c SmallWorldConfig) validate() error {
+	switch {
+	case c.Nodes < 3:
+		return fmt.Errorf("%w: small-world needs >= 3 nodes, got %d", ErrBadConfig, c.Nodes)
+	case c.K < 1 || 2*c.K >= c.Nodes:
+		return fmt.Errorf("%w: small-world K=%d out of range for %d nodes", ErrBadConfig, c.K, c.Nodes)
+	case c.Beta < 0 || c.Beta > 1:
+		return fmt.Errorf("%w: small-world Beta=%v", ErrBadConfig, c.Beta)
+	}
+	return nil
+}
+
+// SmallWorld builds a Watts–Strogatz-style small-world graph: a ring
+// lattice where every node links to its K nearest successors, with each
+// offset-≥2 lattice edge rewired to a uniform random endpoint with
+// probability Beta. Node IDs are 0..Nodes-1; positions lie on a circle
+// (for plots and dynamic-join anchoring), but adjacency is purely
+// structural — the graph has zero communication range.
+func SmallWorld(cfg SmallWorldConfig) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Nodes
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := New(0)
+	// Circle radius grows with n so typical node spacing stays ~10 m.
+	radius := 10 * float64(n) / (2 * math.Pi)
+	for i := 0; i < n; i++ {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		p := Point{X: radius * (1 + math.Cos(theta)), Y: radius * (1 + math.Sin(theta))}
+		if err := g.AddNode(identity.NodeID(i), p); err != nil {
+			return nil, err
+		}
+	}
+	// The offset-1 ring: never rewired, guarantees connectivity.
+	for i := 0; i < n; i++ {
+		if err := g.Link(identity.NodeID(i), identity.NodeID((i+1)%n)); err != nil {
+			return nil, err
+		}
+	}
+	for off := 2; off <= cfg.K; off++ {
+		for i := 0; i < n; i++ {
+			a := identity.NodeID(i)
+			b := identity.NodeID((i + off) % n)
+			if rng.Float64() < cfg.Beta {
+				// Rewire: keep a, pick a fresh endpoint. Bounded retries;
+				// on a dense corner case keep the lattice edge instead.
+				for try := 0; try < 32; try++ {
+					c := identity.NodeID(rng.Intn(n))
+					if c != a && !g.IsNeighbor(a, c) {
+						b = c
+						break
+					}
+				}
+			}
+			if b != a && !g.IsNeighbor(a, b) {
+				if err := g.Link(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// GeoClusteredConfig drives GeoClustered.
+type GeoClusteredConfig struct {
+	Nodes int
+	// ClusterSize is the target nodes per geographic cluster. 0 = 32.
+	ClusterSize int
+	// ExtraIntra is how many extra random in-cluster links each node
+	// attempts beyond the cluster ring. 0 = 2; -1 = none.
+	ExtraIntra int
+	// Bridges is how many extra random inter-cluster links each cluster
+	// attempts beyond the cluster-ring gateway link. 0 = 1; -1 = none.
+	Bridges int
+	Seed    int64
+}
+
+func (c GeoClusteredConfig) withDefaults() GeoClusteredConfig {
+	if c.ClusterSize == 0 {
+		c.ClusterSize = 32
+	}
+	if c.ExtraIntra == 0 {
+		c.ExtraIntra = 2
+	} else if c.ExtraIntra < 0 {
+		c.ExtraIntra = 0
+	}
+	if c.Bridges == 0 {
+		c.Bridges = 1
+	} else if c.Bridges < 0 {
+		c.Bridges = 0
+	}
+	return c
+}
+
+// GeoClustered builds a geo-clustered sparse graph: nodes are grouped
+// into contiguous-ID clusters of ~ClusterSize, each cluster is placed
+// on a grid of cluster centers with its members scattered around the
+// center, and edges are (a) a ring within each cluster, (b) ExtraIntra
+// random in-cluster chords per node, (c) a gateway link from each
+// cluster to the next (a ring over clusters), and (d) Bridges extra
+// random inter-cluster links per cluster. The intra-cluster rings plus
+// the cluster ring make it connected by construction; degrees are
+// O(ExtraIntra + Bridges), independent of Nodes.
+func GeoClustered(cfg GeoClusteredConfig) (*Graph, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("%w: geo-clustered needs >= 1 node, got %d", ErrBadConfig, cfg.Nodes)
+	}
+	n := cfg.Nodes
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := New(0)
+
+	clusters := (n + cfg.ClusterSize - 1) / cfg.ClusterSize
+	grid := int(math.Ceil(math.Sqrt(float64(clusters))))
+	const pitch = 500.0 // meters between cluster centers
+	const spread = 100.0
+	// start/end of cluster c in ID space: contiguous so membership is
+	// arithmetic, not a lookup.
+	clusterOf := func(i int) int { return i / cfg.ClusterSize }
+	start := func(c int) int { return c * cfg.ClusterSize }
+	end := func(c int) int { return min((c+1)*cfg.ClusterSize, n) }
+
+	for i := 0; i < n; i++ {
+		c := clusterOf(i)
+		center := Point{
+			X: pitch/2 + float64(c%grid)*pitch,
+			Y: pitch/2 + float64(c/grid)*pitch,
+		}
+		p := Point{
+			X: center.X + (rng.Float64()-0.5)*2*spread,
+			Y: center.Y + (rng.Float64()-0.5)*2*spread,
+		}
+		if err := g.AddNode(identity.NodeID(i), p); err != nil {
+			return nil, err
+		}
+	}
+	link := func(a, b int) error {
+		if a == b || g.IsNeighbor(identity.NodeID(a), identity.NodeID(b)) {
+			return nil
+		}
+		return g.Link(identity.NodeID(a), identity.NodeID(b))
+	}
+	for c := 0; c < clusters; c++ {
+		lo, hi := start(c), end(c)
+		size := hi - lo
+		// (a) intra-cluster ring (or single edge for 2-node clusters).
+		if size > 1 {
+			for i := lo; i < hi; i++ {
+				next := lo + (i-lo+1)%size
+				if err := link(i, next); err != nil {
+					return nil, err
+				}
+			}
+		}
+		// (b) random in-cluster chords.
+		if size > 3 {
+			for i := lo; i < hi; i++ {
+				for k := 0; k < cfg.ExtraIntra; k++ {
+					if err := link(i, lo+rng.Intn(size)); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		// (c) gateway ring over clusters: first member of c to first
+		// member of c+1.
+		if clusters > 1 {
+			if err := link(lo, start((c+1)%clusters)); err != nil {
+				return nil, err
+			}
+		}
+		// (d) extra random bridges out of this cluster.
+		if clusters > 1 {
+			for k := 0; k < cfg.Bridges; k++ {
+				oc := rng.Intn(clusters)
+				if oc == c {
+					continue
+				}
+				a := lo + rng.Intn(size)
+				b := start(oc) + rng.Intn(end(oc)-start(oc))
+				if err := link(a, b); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return g, nil
+}

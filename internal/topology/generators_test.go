@@ -1,0 +1,194 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// graphsEqual compares node sets, positions, and every adjacency list.
+func graphsEqual(t *testing.T, a, b *Graph) bool {
+	t.Helper()
+	an, bn := a.Nodes(), b.Nodes()
+	if !reflect.DeepEqual(an, bn) {
+		return false
+	}
+	for _, id := range an {
+		pa, _ := a.Position(id)
+		pb, _ := b.Position(id)
+		if pa != pb {
+			return false
+		}
+		if !reflect.DeepEqual(a.Neighbors(id), b.Neighbors(id)) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSmallWorldSeededDeterminism(t *testing.T) {
+	cfg := SmallWorldConfig{Nodes: 400, Beta: 0.1, Seed: 7}
+	g1, err := SmallWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := SmallWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(t, g1, g2) {
+		t.Fatal("same seed must produce identical small-world graphs")
+	}
+	cfg.Seed = 8
+	g3, err := SmallWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphsEqual(t, g1, g3) {
+		t.Fatal("different seeds should produce different rewirings")
+	}
+}
+
+func TestGeoClusteredSeededDeterminism(t *testing.T) {
+	cfg := GeoClusteredConfig{Nodes: 400, Seed: 7}
+	g1, err := GeoClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := GeoClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(t, g1, g2) {
+		t.Fatal("same seed must produce identical geo-clustered graphs")
+	}
+	cfg.Seed = 8
+	g3, err := GeoClustered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graphsEqual(t, g1, g3) {
+		t.Fatal("different seeds should produce different graphs")
+	}
+}
+
+func TestSparseGeneratorsConnectedAtDefaults(t *testing.T) {
+	for _, n := range []int{3, 10, 200, 2000} {
+		g, err := SmallWorld(SmallWorldConfig{Nodes: n, K: 1, Beta: 0.2, Seed: int64(n)})
+		if n < 3 {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("SmallWorld(%d): %v", n, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("SmallWorld(%d) disconnected", n)
+		}
+	}
+	for _, n := range []int{1, 2, 31, 200, 2000} {
+		g, err := GeoClustered(GeoClusteredConfig{Nodes: n, Seed: int64(n)})
+		if err != nil {
+			t.Fatalf("GeoClustered(%d): %v", n, err)
+		}
+		if !g.Connected() {
+			t.Fatalf("GeoClustered(%d) disconnected", n)
+		}
+	}
+}
+
+// TestSparseGeneratorsDegreeBounds: the whole point of the sparse
+// generators is that degree does not grow with n — check min-degree
+// floors (connectivity margin) and that max degree is flat across a
+// 10x size jump.
+func TestSparseGeneratorsDegreeBounds(t *testing.T) {
+	maxDeg := func(g *Graph) int {
+		m := 0
+		for _, id := range g.Nodes() {
+			if d := g.Degree(id); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	minDeg := func(g *Graph) int {
+		m := int(^uint(0) >> 1)
+		for _, id := range g.Nodes() {
+			if d := g.Degree(id); d < m {
+				m = d
+			}
+		}
+		return m
+	}
+
+	for _, n := range []int{500, 5000} {
+		sw, err := SmallWorld(SmallWorldConfig{Nodes: n, K: 3, Beta: 0.1, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The untouched offset-1 ring guarantees degree >= 2; the lattice
+		// adds at most K-1 more per side plus rewired strays. Edges never
+		// exceed n*K, so average degree <= 2K.
+		if d := minDeg(sw); d < 2 {
+			t.Fatalf("small-world n=%d min degree %d < 2", n, d)
+		}
+		if e := sw.EdgeCount(); e > n*3 {
+			t.Fatalf("small-world n=%d has %d edges, want <= %d", n, e, n*3)
+		}
+		if d := maxDeg(sw); d > 20 {
+			t.Fatalf("small-world n=%d max degree %d grew past the O(K) regime", n, d)
+		}
+
+		gc, err := GeoClustered(GeoClusteredConfig{Nodes: n, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := minDeg(gc); d < 2 {
+			t.Fatalf("geo-clustered n=%d min degree %d < 2", n, d)
+		}
+		// Ring (2) + ExtraIntra chords from both ends + gateway/bridge
+		// links: a fixed budget independent of n.
+		if d := maxDeg(gc); d > 24 {
+			t.Fatalf("geo-clustered n=%d max degree %d grew past the O(1) regime", n, d)
+		}
+	}
+}
+
+func TestSparseGeneratorConfigValidation(t *testing.T) {
+	if _, err := SmallWorld(SmallWorldConfig{Nodes: 2}); err == nil {
+		t.Fatal("want error for 2-node small-world")
+	}
+	if _, err := SmallWorld(SmallWorldConfig{Nodes: 10, K: 5}); err == nil {
+		t.Fatal("want error for 2K >= Nodes")
+	}
+	if _, err := SmallWorld(SmallWorldConfig{Nodes: 10, Beta: 1.5}); err == nil {
+		t.Fatal("want error for Beta > 1")
+	}
+	if _, err := GeoClustered(GeoClusteredConfig{Nodes: 0}); err == nil {
+		t.Fatal("want error for empty geo-clustered")
+	}
+}
+
+// The generators must keep IDs dense 0..n-1 — the simulator's ordinal
+// indexing depends on it.
+func TestSparseGeneratorsDenseIDs(t *testing.T) {
+	sw, err := SmallWorld(SmallWorldConfig{Nodes: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := GeoClustered(GeoClusteredConfig{Nodes: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range []*Graph{sw, gc} {
+		ids := g.Nodes()
+		if len(ids) != 100 {
+			t.Fatalf("want 100 nodes, got %d", len(ids))
+		}
+		for i, id := range ids {
+			if id != identity.NodeID(i) {
+				t.Fatalf("IDs not dense at %d: %v", i, id)
+			}
+		}
+	}
+}

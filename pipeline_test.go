@@ -24,6 +24,41 @@ func TestWithPipelineDepthValidation(t *testing.T) {
 	}
 }
 
+// TestWithChunkSizeValidation pins the chunking knob's contract:
+// negative chunks are rejected, the live driver refuses the option,
+// and the simulator's report is byte-identical across chunk sizes.
+func TestWithChunkSizeValidation(t *testing.T) {
+	if _, err := New(WithNodes(8), WithSimulator(), WithChunkSize(-1)); err == nil {
+		t.Fatal("WithChunkSize(-1) accepted")
+	}
+	if _, err := New(WithNodes(8), WithDifficulty(0), WithChunkSize(4)); err == nil {
+		t.Fatal("live driver accepted WithChunkSize")
+	}
+	run := func(chunk int) *SimReport {
+		t.Helper()
+		rt, err := New(
+			WithSimulator(), WithNodes(12), WithGamma(3), WithSeed(7),
+			WithDifficulty(0), WithWorkers(4), WithChunkSize(chunk),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		sd := rt.(*SimDriver)
+		if err := sd.RunSlots(15); err != nil {
+			t.Fatal(err)
+		}
+		return sd.Report()
+	}
+	auto, tiny := run(0), run(1)
+	if auto.Audits == 0 {
+		t.Fatal("no audits ran")
+	}
+	if !reflect.DeepEqual(auto, tiny) {
+		t.Fatalf("chunked report diverged:\nauto: %+v\nchunk=1: %+v", auto, tiny)
+	}
+}
+
 // TestPipelinedRunSlotsReportMatchesBarriered drives the paper's
 // slotted schedule through the public facade at pipeline depths 1 and
 // 3 and asserts byte-identical reports — the public-API face of

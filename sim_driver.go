@@ -39,6 +39,7 @@ func newSimDriver(cfg *config, g *topology.Graph) (*SimDriver, error) {
 		Difficulty:    cfg.params.Difficulty,
 		Workers:       cfg.workers,
 		PipelineDepth: cfg.pipeline,
+		ChunkSize:     cfg.chunk,
 		Observer:      events.Multi(cfg.observers...),
 	})
 	if err != nil {

@@ -81,7 +81,22 @@ type (
 	// Merkle root, so it can be checked against an audited header
 	// without re-fetching the body.
 	SampleProof = block.SampleProof
+	// SmallWorldConfig / GeoClusteredConfig size the sparse topology
+	// generators below.
+	SmallWorldConfig   = topology.SmallWorldConfig
+	GeoClusteredConfig = topology.GeoClusteredConfig
 )
+
+// SmallWorld generates a seeded ring-lattice graph with probabilistic
+// rewiring (Watts–Strogatz style): low degree, short paths, always
+// connected. The sparse shape that lets the simulator scale to 10k+
+// nodes; pass the result to WithTopology.
+func SmallWorld(cfg SmallWorldConfig) (*Topology, error) { return topology.SmallWorld(cfg) }
+
+// GeoClustered generates a seeded cluster-of-clusters graph: dense
+// local clusters on a grid joined by gateway links, the shape of
+// real-world IoT site deployments. Pass the result to WithTopology.
+func GeoClustered(cfg GeoClusteredConfig) (*Topology, error) { return topology.GeoClustered(cfg) }
 
 // Sentinel errors re-exported for errors.Is checks.
 var (
