@@ -1,17 +1,21 @@
 package twoldag
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/cluster"
+	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/events"
 	"github.com/twoldag/twoldag/internal/faults"
 	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
 	"github.com/twoldag/twoldag/internal/node"
 	"github.com/twoldag/twoldag/internal/topology"
 	"github.com/twoldag/twoldag/internal/transport"
@@ -106,6 +110,13 @@ type Cluster struct {
 	obs     Observer // user observers (may be nil); tracker added per node
 	plan    faults.Plan
 	retry   faults.RetryPolicy
+
+	// Durability (WithDataDir): one FileBackend per node under
+	// dataDir/node-<id>, kept so Silence can flush + close it and
+	// Restart can recover from it.
+	dataDir  string
+	trustCap int
+	backends map[NodeID]*ledger.FileBackend
 }
 
 var _ Runtime = (*Cluster)(nil)
@@ -126,6 +137,10 @@ func newCluster(cfg *config, g *topology.Graph) (*Cluster, error) {
 		obs:     events.Multi(cfg.observers...),
 		plan:    cfg.faultPlan,
 		retry:   cfg.retry,
+
+		dataDir:  cfg.dataDir,
+		trustCap: cfg.trustCap,
+		backends: make(map[NodeID]*ledger.FileBackend),
 	}
 	switch cfg.transport {
 	case TCP:
@@ -180,6 +195,26 @@ func (c *Cluster) startNode(kp identity.KeyPair) error {
 		slot := &c.slot
 		tr = faults.Wrap(ep, c.plan, func() uint32 { return slot.Load() }, obs)
 	}
+	var state *ledger.NodeState
+	var backend ledger.Backend
+	if c.dataDir != "" {
+		fb, err := ledger.OpenFileBackend(filepath.Join(c.dataDir, fmt.Sprintf("node-%d", kp.ID)))
+		if err != nil {
+			return fmt.Errorf("twoldag: node %v: %w", kp.ID, err)
+		}
+		state, err = fb.Recover(ledger.RecoverOptions{
+			Owner:    kp.ID,
+			Params:   c.params,
+			Ring:     c.ring,
+			TrustCap: c.trustCap,
+		})
+		if err != nil {
+			_ = fb.Close()
+			return fmt.Errorf("twoldag: recovering node %v: %w", kp.ID, err)
+		}
+		c.backends[kp.ID] = fb
+		backend = fb
+	}
 	n, err := node.New(node.Config{
 		Key:            kp,
 		Params:         c.params,
@@ -191,8 +226,15 @@ func (c *Cluster) startNode(kp identity.KeyPair) error {
 		Retry:          c.retry,
 		Health:         faults.NewHealth(kp.ID, 0, obs),
 		Observer:       obs,
+		State:          state,
+		TrustCap:       c.trustCap,
+		Backend:        backend,
 	})
 	if err != nil {
+		if fb := c.backends[kp.ID]; fb != nil {
+			_ = fb.Close()
+			delete(c.backends, kp.ID)
+		}
 		return fmt.Errorf("twoldag: starting node %v: %w", kp.ID, err)
 	}
 	slot := &c.slot
@@ -428,7 +470,10 @@ func (c *Cluster) Join() (NodeID, error) {
 
 // Silence implements Runtime: the device's transport closes, and
 // subsequent audits must route around it, as in the paper's
-// malicious-node experiments.
+// malicious-node experiments. With WithDataDir, the node's backend is
+// flushed and closed too — everything the node accepted before going
+// silent is on disk, and Restart can bring it back from exactly that
+// state.
 func (c *Cluster) Silence(id NodeID) error {
 	n, ok := c.nodes[id]
 	if !ok {
@@ -436,13 +481,62 @@ func (c *Cluster) Silence(id NodeID) error {
 	}
 	delete(c.nodes, id)
 	err := n.Close()
+	if fb, ok := c.backends[id]; ok {
+		delete(c.backends, id)
+		if cerr := fb.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if rerr := c.fab.remove(id); rerr != nil && err == nil {
 		err = rerr
 	}
 	return err
 }
 
-// Close implements Runtime: every node stops, then the fabric.
+// Restart brings a silenced (or crashed) device back from its data
+// dir: the backend reopens, the whole ledger state recovers from
+// snapshot + WAL, and the node serves again under the same identity.
+// Requires WithDataDir; the device must not be running. The restarted
+// node's A_i, H_i and S_i are exactly what was durable at silence
+// time — the caller re-flushes its latest digest if neighbors were
+// ahead of the crash point.
+func (c *Cluster) Restart(id NodeID) error {
+	if c.dataDir == "" {
+		return fmt.Errorf("twoldag: Restart(%v) requires WithDataDir", id)
+	}
+	if _, running := c.nodes[id]; running {
+		return fmt.Errorf("twoldag: node %v is still running", id)
+	}
+	known := false
+	for _, kid := range c.ids {
+		if kid == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("twoldag: unknown node %v", id)
+	}
+	return c.startNode(identity.Deterministic(id, c.seed))
+}
+
+// StateDigest returns a canonical digest over a node's whole ledger
+// state — the snapshot-v2 serialization of (S_i, H_i, A_i, trust cap)
+// — for byte-identity checks across crash/recovery boundaries.
+func (c *Cluster) StateDigest(id NodeID) (Digest, error) {
+	n, ok := c.nodes[id]
+	if !ok {
+		return Digest{}, fmt.Errorf("twoldag: unknown node %v", id)
+	}
+	var buf bytes.Buffer
+	if err := n.Engine().State().WriteSnapshot(&buf); err != nil {
+		return Digest{}, err
+	}
+	return digest.Sum(buf.Bytes()), nil
+}
+
+// Close implements Runtime: every node stops, backends flush and
+// close, then the fabric.
 func (c *Cluster) Close() error {
 	var first error
 	for id, n := range c.nodes {
@@ -450,6 +544,12 @@ func (c *Cluster) Close() error {
 			first = err
 		}
 		delete(c.nodes, id)
+	}
+	for id, fb := range c.backends {
+		if err := fb.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(c.backends, id)
 	}
 	if err := c.fab.close(); err != nil && first == nil {
 		first = err

@@ -37,6 +37,12 @@ func runHost(args []string, join bool) int {
 	advertise := fs.String("advertise", "", "address announced to peers (default: the bound address)")
 	timeout := fs.Duration("timeout", 2*time.Second, "PoP request timeout τ and acknowledgement deadline")
 
+	// Durability: with -data the ledger persists (WAL + snapshots) and a
+	// killed process restarted on the same directory resumes exactly
+	// where its last fsync'd block left off.
+	dataDir := fs.String("data", "", "ledger data directory (empty: in-memory only)")
+	trustCap := fs.Int("trust-cap", 0, "bound on retained trust headers H_i, oldest evicted first (0: unbounded)")
+
 	var id *uint
 	var addr *string
 	if join {
@@ -69,6 +75,8 @@ func runHost(args []string, join bool) int {
 		Listen:         *listen,
 		Advertise:      *advertise,
 		RequestTimeout: *timeout,
+		DataDir:        *dataDir,
+		TrustCap:       *trustCap,
 	}
 	if !join {
 		cfg.ID = identity.NodeID(*id)

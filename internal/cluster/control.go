@@ -31,8 +31,11 @@ type ControlRef struct {
 // "flush" (announce sealed Digests and await acks), "submit"
 // (seal+flush one block), "audit" (PoP from this node against Ref),
 // "silence" (mark Node dead locally), "info" (identity, address,
-// live members), "leave" (graceful shutdown; final response, then the
-// loop ends).
+// live members), "latest" (ref + digest of the newest own block —
+// what a restarted node re-flushes), "state" (canonical digest over
+// the whole ledger state, for crash-recovery equivalence checks),
+// "compact" (force a WAL compaction), "leave" (graceful shutdown;
+// final response, then the loop ends).
 type ControlRequest struct {
 	Op      string      `json:"op"`
 	Slot    uint32      `json:"slot,omitempty"`
@@ -176,6 +179,27 @@ func execControl(ctx context.Context, h *Host, req *ControlRequest) (ControlResp
 			ids[i] = uint32(id)
 		}
 		return ControlResponse{OK: true, ID: uint32(h.ID()), Addr: h.Addr(), Live: ids}, false
+	case "latest":
+		ref, d, ok := h.Latest()
+		if !ok {
+			return fail(fmt.Errorf("store is empty")), false
+		}
+		return ControlResponse{
+			OK:     true,
+			Ref:    &ControlRef{Node: uint32(ref.Node), Seq: ref.Seq},
+			Digest: d.Hex(),
+		}, false
+	case "state":
+		d, err := h.StateDigest()
+		if err != nil {
+			return fail(err), false
+		}
+		return ControlResponse{OK: true, Digest: d.Hex()}, false
+	case "compact":
+		if err := h.Compact(); err != nil {
+			return fail(err), false
+		}
+		return ControlResponse{OK: true}, false
 	case "leave":
 		return ControlResponse{OK: true}, true
 	default:

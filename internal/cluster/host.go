@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"github.com/twoldag/twoldag/internal/events"
 	"github.com/twoldag/twoldag/internal/faults"
 	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
 	"github.com/twoldag/twoldag/internal/node"
 	"github.com/twoldag/twoldag/internal/pow"
 	"github.com/twoldag/twoldag/internal/topology"
@@ -64,7 +66,25 @@ type Config struct {
 	Plan faults.Plan
 	// Observer, when non-nil, receives the node's event stream.
 	Observer events.Observer
+	// DataDir, when set, makes the ledger durable: a file-backed
+	// WAL + snapshot backend (ledger.FileBackend) opens there, the
+	// node recovers its whole prior state (S_i, H_i, A_i) before
+	// serving, every sealed block fsyncs before it is acknowledged,
+	// and the WAL compacts into a snapshot every CompactEvery blocks.
+	// Empty = in-memory only (the no-op backend).
+	DataDir string
+	// TrustCap bounds H_i to that many headers (FIFO eviction;
+	// 0 = unbounded). With DataDir set the cap is persisted in the
+	// snapshot and survives restarts even if the flag is dropped.
+	TrustCap int
+	// CompactEvery is the WAL compaction threshold in block records
+	// (default 256; only meaningful with DataDir).
+	CompactEvery int
 }
+
+// defaultCompactEvery is the WAL compaction threshold when
+// Config.CompactEvery is zero.
+const defaultCompactEvery = 256
 
 // member is one directory entry.
 type member struct {
@@ -91,14 +111,20 @@ type Host struct {
 	tracker *AckTracker
 	health  *faults.Health
 	obs     events.Observer // merged user observer + tracker
+	backend *ledger.FileBackend
 	slot    atomic.Uint32
 
 	mu      sync.Mutex
 	members map[identity.NodeID]*member
 	ids     []identity.NodeID // known devices in join order
 
-	ctx     context.Context
-	cancel  context.CancelFunc
+	ctx    context.Context
+	cancel context.CancelFunc
+	// Verb lifecycle: begin registers under verbMu.RLock, so Close can
+	// take the write lock to flip closed and know no wg.Add can race
+	// its wg.Wait (a bare atomic double-check would let an Add from a
+	// zero counter run concurrently with Wait, which WaitGroup forbids).
+	verbMu  sync.RWMutex
 	wg      sync.WaitGroup // in-flight verbs, drained by Close
 	closeMu sync.Mutex
 	closed  atomic.Bool
@@ -256,6 +282,33 @@ func (h *Host) startNode() error {
 		slot := &h.slot
 		tr = faults.Wrap(tn, h.cfg.Plan, func() uint32 { return slot.Load() }, obs)
 	}
+
+	// Durability: open the data dir and recover the whole prior state
+	// — snapshot, then WAL replay with cryptographic re-verification
+	// against the ring — before the node serves any traffic.
+	var state *ledger.NodeState
+	var backend ledger.Backend
+	if h.cfg.DataDir != "" {
+		fb, err := ledger.OpenFileBackend(h.cfg.DataDir)
+		if err != nil {
+			tn.Close()
+			return err
+		}
+		state, err = fb.Recover(ledger.RecoverOptions{
+			Owner:    h.id,
+			Params:   params,
+			Ring:     h.ring,
+			TrustCap: h.cfg.TrustCap,
+		})
+		if err != nil {
+			_ = fb.Close()
+			tn.Close()
+			return fmt.Errorf("cluster: recovering %s: %w", h.cfg.DataDir, err)
+		}
+		h.backend = fb
+		backend = fb
+	}
+
 	n, err := node.New(node.Config{
 		Key:            identity.Deterministic(h.id, h.cfg.Seed),
 		Params:         params,
@@ -268,9 +321,16 @@ func (h *Host) startNode() error {
 		Health:         h.health,
 		Observer:       obs,
 		Control:        h.onControl,
+		State:          state,
+		TrustCap:       h.cfg.TrustCap,
+		Backend:        backend,
 		AnnounceAcks:   true,
 	})
 	if err != nil {
+		if h.backend != nil {
+			_ = h.backend.Close()
+			h.backend = nil
+		}
 		tn.Close()
 		return fmt.Errorf("cluster: %w", err)
 	}
@@ -519,14 +579,12 @@ func (h *Host) liveNeighbors() []identity.NodeID {
 
 // begin registers an in-flight verb; Close drains them.
 func (h *Host) begin() error {
+	h.verbMu.RLock()
+	defer h.verbMu.RUnlock()
 	if h.closed.Load() {
 		return ErrClosed
 	}
 	h.wg.Add(1)
-	if h.closed.Load() { // closed between check and Add
-		h.wg.Done()
-		return ErrClosed
-	}
 	return nil
 }
 
@@ -559,7 +617,65 @@ func (h *Host) Seal(data []byte) (block.Ref, digest.Digest, error) {
 	if err != nil {
 		return block.Ref{}, digest.Digest{}, err
 	}
+	h.maybeCompact()
 	return b.Header.Ref(), d, nil
+}
+
+// maybeCompact folds the WAL into a snapshot once the block-record
+// threshold is reached. Runs inside the Seal verb (h.wg held), so
+// Close never races the backend away mid-compaction; concurrent
+// compactions coalesce inside the backend.
+func (h *Host) maybeCompact() {
+	if h.backend == nil {
+		return
+	}
+	every := h.cfg.CompactEvery
+	if every <= 0 {
+		every = defaultCompactEvery
+	}
+	if h.backend.PendingBlocks() < every {
+		return
+	}
+	_ = h.backend.Compact(func() (*ledger.NodeState, error) {
+		return h.node.Engine().State(), nil
+	})
+}
+
+// Compact forces a WAL compaction now (no-op without a data dir) —
+// exposed so tests and operators can bound the replay tail on demand.
+func (h *Host) Compact() error {
+	if err := h.begin(); err != nil {
+		return err
+	}
+	defer h.wg.Done()
+	if h.backend == nil {
+		return nil
+	}
+	return h.backend.Compact(func() (*ledger.NodeState, error) {
+		return h.node.Engine().State(), nil
+	})
+}
+
+// Latest returns the ref and digest of this node's newest sealed
+// block. ok is false for an empty store — a fresh node, or one whose
+// data dir held nothing.
+func (h *Host) Latest() (ref block.Ref, d digest.Digest, ok bool) {
+	b := h.node.Engine().Store().Latest()
+	if b == nil {
+		return block.Ref{}, digest.Digest{}, false
+	}
+	return b.Header.Ref(), b.Header.Hash(), true
+}
+
+// StateDigest returns a canonical digest over the node's whole ledger
+// state — the snapshot-v2 serialization of (S_i, H_i, A_i, trust cap)
+// — for byte-identity checks across crash/recovery boundaries.
+func (h *Host) StateDigest() (digest.Digest, error) {
+	var buf bytes.Buffer
+	if err := h.node.Engine().State().WriteSnapshot(&buf); err != nil {
+		return digest.Digest{}, err
+	}
+	return digest.Sum(buf.Bytes()), nil
 }
 
 // Flush announces previously sealed digests (in seal order) to every
@@ -641,18 +757,33 @@ func (h *Host) Block(ref block.Ref) (*block.Block, error) {
 // Close shuts the host down gracefully, in strict order: stop
 // accepting verbs, cancel and drain every in-flight one (their retry
 // loops are bounded by the policy cap and their contexts are dead),
+// flush + fsync and close the durability backend — every accepted
+// block is on disk before any peer learns we are leaving — then
 // broadcast Leave so peers mark this node dead immediately instead of
-// waiting for their health trackers, then close the node — which
-// closes the RPC layer, the transport and the listener.
+// waiting for their health trackers, and finally close the node —
+// which closes the RPC layer, the transport and the listener. Journal
+// writes from frames that arrive between backend close and node close
+// are dropped (ErrBackendClosed): nothing a departing node must keep.
 func (h *Host) Close() error {
 	h.closeMu.Lock()
 	defer h.closeMu.Unlock()
 	if h.closed.Load() {
 		return nil
 	}
+	h.verbMu.Lock()
 	h.closed.Store(true)
+	h.verbMu.Unlock()
 	h.cancel()
 	h.wg.Wait()
+	var backendErr error
+	if h.backend != nil {
+		if err := h.backend.Sync(); err != nil {
+			backendErr = err
+		}
+		if err := h.backend.Close(); err != nil && backendErr == nil {
+			backendErr = err
+		}
+	}
 	lctx, lcancel := context.WithTimeout(context.Background(), h.cfg.RequestTimeout)
 	for _, peer := range h.Live() {
 		if peer == h.id {
@@ -661,5 +792,8 @@ func (h *Host) Close() error {
 		_ = h.node.Send(lctx, peer, wire.NewLeave(h.id, peer, h.node.NextNonce()))
 	}
 	lcancel()
-	return h.node.Close()
+	if err := h.node.Close(); err != nil {
+		return err
+	}
+	return backendErr
 }

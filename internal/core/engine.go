@@ -47,6 +47,22 @@ type EngineOptions struct {
 	// Store replaces the default sharded ledger.NewStore. Must be owned
 	// by the engine's node ID.
 	Store *ledger.Store
+	// Trust replaces the default empty ledger.NewTrustStore — how a
+	// recovered node resumes with its persisted H_i.
+	Trust *ledger.TrustStore
+	// Cache replaces the default empty ledger.NewDigestCache — how a
+	// recovered node resumes with its persisted A_i.
+	Cache *ledger.DigestCache
+	// TrustCap, when > 0, bounds H_i to that many headers (FIFO
+	// eviction; ledger.TrustStore.SetCap). Applied to the injected
+	// Trust store too, so config and recovered state agree.
+	TrustCap int
+	// Backend, when non-nil, is attached as the durability journal on
+	// the engine's store, trust store and digest cache — after any
+	// injected (recovered) state, so recovery itself is never
+	// re-journaled. The engine does not manage the backend's
+	// lifecycle; whoever opened it closes it.
+	Backend ledger.Backend
 	// VerifyCache replaces the engine-private cache. Verification
 	// results are objective facts about sealed headers (the cache keys
 	// on header hash and records only successes), so sharing one across
@@ -78,13 +94,29 @@ func NewEngineWith(key identity.KeyPair, params block.Params, topo *topology.Gra
 	if vcache == nil {
 		vcache = block.NewVerifyCache()
 	}
+	trust := opts.Trust
+	if trust == nil {
+		trust = ledger.NewTrustStore()
+	}
+	if opts.TrustCap > 0 {
+		trust.SetCap(opts.TrustCap)
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = ledger.NewDigestCache()
+	}
+	if opts.Backend != nil {
+		store.SetJournal(opts.Backend)
+		trust.SetJournal(opts.Backend)
+		cache.SetJournal(opts.Backend)
+	}
 	return &Engine{
 		key:    key,
 		params: params,
 		topo:   topo,
 		store:  store,
-		cache:  ledger.NewDigestCache(),
-		trust:  ledger.NewTrustStore(),
+		cache:  cache,
+		trust:  trust,
 		vcache: vcache,
 	}, nil
 }
@@ -100,6 +132,19 @@ func (e *Engine) Trust() *ledger.TrustStore { return e.trust }
 
 // Cache exposes A_i.
 func (e *Engine) Cache() *ledger.DigestCache { return e.cache }
+
+// State bundles the engine's ledger structures as a ledger.NodeState —
+// the view snapshot-v2 compaction serializes. The structures are the
+// live ones, not copies; the serializer takes each structure's read
+// lock itself.
+func (e *Engine) State() *ledger.NodeState {
+	return &ledger.NodeState{
+		Store:    e.store,
+		Trust:    e.trust,
+		Cache:    e.cache,
+		TrustCap: e.trust.Cap(),
+	}
+}
 
 // VerifyCache exposes the node's header-validation cache, shared by
 // every validator built from this engine so cryptographic checks carry

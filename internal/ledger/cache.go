@@ -1,6 +1,9 @@
 package ledger
 
 import (
+	"encoding/binary"
+	"fmt"
+	"io"
 	"sort"
 	"sync"
 
@@ -24,6 +27,10 @@ type DigestCache struct {
 	mu      sync.RWMutex
 	nodes   []identity.NodeID // sorted ascending
 	digests []digest.Digest   // digests[i] belongs to nodes[i]
+
+	// journal, when set, durably records every upsert. nil =
+	// in-memory only.
+	journal Journal
 }
 
 // NewDigestCache returns an empty cache.
@@ -39,8 +46,23 @@ func (c *DigestCache) find(j identity.NodeID) (int, bool) {
 	return i, i < len(c.nodes) && c.nodes[i] == j
 }
 
+// SetJournal installs a durability journal: every subsequent upsert is
+// logged (buffered; see FileBackend's fsync discipline) in apply
+// order. Install before the cache sees traffic.
+func (c *DigestCache) SetJournal(j Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+}
+
 // set is the single-entry upsert. Caller holds c.mu for writing.
 func (c *DigestCache) set(j identity.NodeID, d digest.Digest) {
+	// Journal inside the lock so logged order is apply order; replay
+	// is latest-wins, so reproducing the order reproduces the cache.
+	// Errors degrade durability only (sticky in the backend).
+	if c.journal != nil {
+		_ = c.journal.LogDigest(j, d)
+	}
 	i, ok := c.find(j)
 	if ok {
 		c.digests[i] = d
@@ -93,6 +115,9 @@ func (c *DigestCache) Forget(j identity.NodeID) {
 	if !ok {
 		return
 	}
+	if c.journal != nil {
+		_ = c.journal.LogForget(j)
+	}
 	c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
 	c.digests = append(c.digests[:i], c.digests[i+1:]...)
 }
@@ -102,6 +127,25 @@ func (c *DigestCache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.nodes)
+}
+
+// writeSnapshotEntries writes the snapshot-v2 cache section (count +
+// node-sorted fixed-width entries) under the read lock.
+func (c *DigestCache) writeSnapshotEntries(w io.Writer) error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := writeU32(w, uint32(len(c.nodes))); err != nil {
+		return fmt.Errorf("ledger: writing cache count: %w", err)
+	}
+	var entry [4 + digest.Size]byte
+	for i, j := range c.nodes {
+		binary.LittleEndian.PutUint32(entry[:4], uint32(j))
+		copy(entry[4:], c.digests[i][:])
+		if _, err := w.Write(entry[:]); err != nil {
+			return fmt.Errorf("ledger: writing cache entry: %w", err)
+		}
+	}
+	return nil
 }
 
 // Snapshot assembles the Δ field for a new block (Sec. III-D): the

@@ -1,0 +1,373 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// FileBackend data-dir layout (one directory per node):
+//
+//	snapshot.2ldg — last compacted snapshot (snapshot v2: S_i blocks,
+//	                H_i headers, A_i entries, trust cap, CRC-sealed).
+//	                Always committed by atomic rename; never partial.
+//	wal.log       — current WAL generation: every mutation since the
+//	                snapshot, one CRC-framed record each (see wal.go).
+//	wal.old       — previous generation, present only inside a
+//	                compaction window (rotation committed, snapshot
+//	                not yet); replayed between snapshot and wal.log.
+//	snapshot.tmp  — snapshot being written; garbage after a crash,
+//	                deleted on recovery.
+//
+// Fsync discipline: block records fsync before Store.Append publishes
+// the block (write-ahead — an accepted block survives a crash); trust
+// and digest records are written immediately but fsynced lazily, piggy-
+// backing on the next block fsync, Sync, or Close. Losing the tail of
+// trust/digest records in a crash costs re-auditing, never data.
+//
+// Torn writes: a crash mid-record leaves wal.log with an incomplete or
+// CRC-failing tail. Recovery replays the intact prefix, discards the
+// tail, and the post-recovery compaction rewrites a clean snapshot —
+// so the node restarts exactly at the last durable record.
+const (
+	snapshotFileName = "snapshot.2ldg"
+	walFileName      = "wal.log"
+	walOldFileName   = "wal.old"
+	snapshotTmpName  = "snapshot.tmp"
+)
+
+// FileBackend is the file-backed ledger Backend: an append-only WAL
+// plus snapshot-v2 compaction in a single data directory. Safe for
+// concurrent journal use; Compact may run concurrently with logging.
+type FileBackend struct {
+	dir string
+
+	mu         sync.Mutex
+	f          *os.File // wal.log, append-only
+	scratch    []byte   // record frame scratch, reused under mu
+	dscratch   []byte   // digest payload scratch, reused under mu
+	pending    int      // block records in the current WAL generation
+	compacting bool
+	closed     bool
+	deferred   error // sticky trust/digest journal error (see Sync)
+	recovered  bool
+}
+
+// OpenFileBackend opens (creating if needed) the data directory and
+// its WAL. Call Recover next; journal calls before Recover fail.
+func OpenFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: creating data dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walFileName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: opening WAL: %w", err)
+	}
+	return &FileBackend{dir: dir, f: f}, nil
+}
+
+// Dir returns the backend's data directory.
+func (fb *FileBackend) Dir() string { return fb.dir }
+
+// Recover rebuilds the node state from snapshot + WAL (see Backend).
+// It then compacts immediately: the recovered state becomes a fresh
+// snapshot and the WAL restarts empty, so a crash loop cannot grow an
+// unbounded replay tail.
+func (fb *FileBackend) Recover(opts RecoverOptions) (*NodeState, error) {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return nil, ErrBackendClosed
+	}
+	if fb.recovered {
+		return nil, errors.New("ledger: backend already recovered")
+	}
+	// An interrupted compaction never committed its snapshot.
+	_ = os.Remove(filepath.Join(fb.dir, snapshotTmpName))
+
+	st := NewNodeState(opts.Owner, opts.TrustCap)
+	snap, err := os.ReadFile(filepath.Join(fb.dir, snapshotFileName))
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh data dir.
+	case err != nil:
+		return nil, fmt.Errorf("ledger: reading snapshot: %w", err)
+	default:
+		st, err = ReadSnapshotState(snap, opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The trust cap must be in force before replay so FIFO evictions
+	// replay exactly as they happened live.
+	for _, name := range []string{walOldFileName, walFileName} {
+		buf, err := os.ReadFile(filepath.Join(fb.dir, name))
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ledger: reading %s: %w", name, err)
+		}
+		if _, err := replayWAL(st, buf, opts); err != nil {
+			return nil, fmt.Errorf("ledger: replaying %s: %w", name, err)
+		}
+	}
+	fb.recovered = true
+	// Normalize on disk: recovered state → fresh snapshot, empty WAL,
+	// no wal.old. Done under mu — nothing else can log yet.
+	if err := fb.writeSnapshotFile(st); err != nil {
+		return nil, err
+	}
+	if err := fb.resetWALLocked(); err != nil {
+		return nil, err
+	}
+	_ = os.Remove(filepath.Join(fb.dir, walOldFileName))
+	return st, nil
+}
+
+// writeSnapshotFile writes st to snapshot.tmp, fsyncs, and commits it
+// by rename. The caller must exclude concurrent snapshot writers —
+// either by holding fb.mu (Recover) or by owning the compacting flag
+// (Compact); the write itself never touches the live WAL handle.
+func (fb *FileBackend) writeSnapshotFile(st *NodeState) error {
+	tmp := filepath.Join(fb.dir, snapshotTmpName)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: creating snapshot: %w", err)
+	}
+	if err := st.WriteSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("ledger: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ledger: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(fb.dir, snapshotFileName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("ledger: committing snapshot: %w", err)
+	}
+	fb.syncDir()
+	return nil
+}
+
+// resetWALLocked truncates wal.log to empty and resets the pending
+// count. Caller holds fb.mu.
+func (fb *FileBackend) resetWALLocked() error {
+	if err := fb.f.Truncate(0); err != nil {
+		return fmt.Errorf("ledger: truncating WAL: %w", err)
+	}
+	fb.pending = 0
+	return nil
+}
+
+// syncDir fsyncs the data directory so renames and truncations are
+// durable. Best-effort: some filesystems reject directory fsync.
+func (fb *FileBackend) syncDir() {
+	if d, err := os.Open(fb.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// logLocked frames and writes one record. Caller holds fb.mu.
+func (fb *FileBackend) logLocked(kind byte, payload []byte) error {
+	if fb.closed {
+		return ErrBackendClosed
+	}
+	fb.scratch = appendWALRecord(fb.scratch[:0], kind, payload)
+	if _, err := fb.f.Write(fb.scratch); err != nil {
+		return fmt.Errorf("ledger: writing WAL record: %w", err)
+	}
+	return nil
+}
+
+// LogBlock writes a block record and fsyncs — write-ahead, so the
+// block is durable before Store.Append publishes it. An error here
+// fails the append.
+func (fb *FileBackend) LogBlock(b *block.Block) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if err := fb.logLocked(walKindBlock, block.Encode(b)); err != nil {
+		return err
+	}
+	if err := fb.f.Sync(); err != nil {
+		return fmt.Errorf("ledger: syncing WAL: %w", err)
+	}
+	fb.pending++
+	return nil
+}
+
+// LogTrust writes a trust-store record (no fsync; see the package
+// discipline above). Errors are additionally kept sticky for Sync.
+func (fb *FileBackend) LogTrust(h *block.Header) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	err := fb.logLocked(walKindTrust, block.EncodeHeader(h))
+	if err != nil && fb.deferred == nil && !errors.Is(err, ErrBackendClosed) {
+		fb.deferred = err
+	}
+	return err
+}
+
+// LogDigest writes a digest-cache record (no fsync). Errors are
+// additionally kept sticky for Sync.
+func (fb *FileBackend) LogDigest(from identity.NodeID, d digest.Digest) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	fb.dscratch = appendWALDigest(fb.dscratch[:0], from, d)
+	err := fb.logLocked(walKindDigest, fb.dscratch)
+	if err != nil && fb.deferred == nil && !errors.Is(err, ErrBackendClosed) {
+		fb.deferred = err
+	}
+	return err
+}
+
+// LogForget writes a digest-cache removal record (no fsync). Errors
+// are additionally kept sticky for Sync.
+func (fb *FileBackend) LogForget(from identity.NodeID) error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	var node [4]byte
+	binary.LittleEndian.PutUint32(node[:], uint32(from))
+	err := fb.logLocked(walKindForget, node[:])
+	if err != nil && fb.deferred == nil && !errors.Is(err, ErrBackendClosed) {
+		fb.deferred = err
+	}
+	return err
+}
+
+// PendingBlocks reports block records in the current WAL generation.
+func (fb *FileBackend) PendingBlocks() int {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.pending
+}
+
+// Compact rotates the WAL and folds everything into a fresh snapshot:
+//
+//  1. under mu: fsync wal.log, rename it to wal.old, start an empty
+//     generation (pending = 0);
+//  2. outside mu: gather the current state and commit it as the new
+//     snapshot (tmp + rename);
+//  3. delete wal.old.
+//
+// Logging continues into the new generation throughout. Records
+// gathered into the snapshot AND logged to the new generation replay
+// idempotently; a crash at any step recovers (wal.old replays between
+// snapshot and wal.log; snapshot.tmp is discarded). Concurrent Compact
+// calls coalesce: the later call returns nil without compacting.
+func (fb *FileBackend) Compact(gather func() (*NodeState, error)) error {
+	fb.mu.Lock()
+	if fb.closed {
+		fb.mu.Unlock()
+		return ErrBackendClosed
+	}
+	if fb.compacting {
+		fb.mu.Unlock()
+		return nil
+	}
+	fb.compacting = true
+	if err := fb.rotateLocked(); err != nil {
+		fb.compacting = false
+		fb.mu.Unlock()
+		return err
+	}
+	fb.mu.Unlock()
+
+	finish := func(err error) error {
+		fb.mu.Lock()
+		fb.compacting = false
+		fb.mu.Unlock()
+		return err
+	}
+	st, err := gather()
+	if err != nil {
+		// The rotation stands: wal.old still replays on recovery.
+		return finish(fmt.Errorf("ledger: gathering state for compaction: %w", err))
+	}
+	if err := fb.writeSnapshotFile(st); err != nil {
+		return finish(err)
+	}
+	if err := os.Remove(filepath.Join(fb.dir, walOldFileName)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return finish(fmt.Errorf("ledger: removing rotated WAL: %w", err))
+	}
+	fb.syncDir()
+	return finish(nil)
+}
+
+// rotateLocked closes the current WAL generation as wal.old and opens
+// a fresh wal.log. Caller holds fb.mu with compacting set.
+func (fb *FileBackend) rotateLocked() error {
+	if err := fb.f.Sync(); err != nil {
+		return fmt.Errorf("ledger: syncing WAL for rotation: %w", err)
+	}
+	if err := fb.f.Close(); err != nil {
+		return fmt.Errorf("ledger: closing WAL for rotation: %w", err)
+	}
+	walPath := filepath.Join(fb.dir, walFileName)
+	if err := os.Rename(walPath, filepath.Join(fb.dir, walOldFileName)); err != nil {
+		return fmt.Errorf("ledger: rotating WAL: %w", err)
+	}
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("ledger: opening new WAL generation: %w", err)
+	}
+	fb.f = f
+	fb.pending = 0
+	fb.syncDir()
+	return nil
+}
+
+// Sync fsyncs the WAL and surfaces any sticky trust/digest journal
+// error (clearing it).
+func (fb *FileBackend) Sync() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return ErrBackendClosed
+	}
+	if err := fb.f.Sync(); err != nil {
+		return fmt.Errorf("ledger: syncing WAL: %w", err)
+	}
+	err := fb.deferred
+	fb.deferred = nil
+	return err
+}
+
+// Close fsyncs and closes the WAL. Further calls return
+// ErrBackendClosed.
+func (fb *FileBackend) Close() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return ErrBackendClosed
+	}
+	fb.closed = true
+	err := fb.f.Sync()
+	if cerr := fb.f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fb.deferred
+	}
+	fb.deferred = nil
+	if err != nil {
+		return fmt.Errorf("ledger: closing backend: %w", err)
+	}
+	return nil
+}

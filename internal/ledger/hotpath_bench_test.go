@@ -13,6 +13,66 @@ import (
 // responder lookup (Alg. 4) with MB-scale bodies — the call that used
 // to deep-copy the whole block per hop and now returns a shared sealed
 // reference.
+// BenchmarkHotpathWALAppend prices durability on the seal path, layer
+// by layer: record is the pure codec (frame + CRC-32C into a reused
+// buffer), buffered is a journaled trust write (no fsync — the lazy
+// tier), fsync is LogBlock, the full write-ahead append whose fsync
+// gates Store.Append publishing a sealed block. The in-memory default
+// (no backend attached) is a nil-journal branch, i.e. free — that
+// claim is guarded by BenchmarkHotpathFaultFree and
+// BenchmarkHotpathSimStep running without a data dir.
+func BenchmarkHotpathWALAppend(b *testing.B) {
+	key := identity.Deterministic(1, 1)
+	p := block.DefaultParams()
+	p.Difficulty = pow.Difficulty(0)
+	blk, err := p.Build(key, 0, 0, make([]byte, 256), []block.DigestRef{{Node: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc := block.Encode(blk)
+	open := func(b *testing.B) *FileBackend {
+		b.Helper()
+		fb, err := OpenFileBackend(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fb.Recover(RecoverOptions{Owner: 1, Params: p}); err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = fb.Close() })
+		return fb
+	}
+
+	b.Run("record", func(b *testing.B) {
+		buf := make([]byte, 0, walHeaderLen+len(enc)+walCRCLen)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = appendWALRecord(buf[:0], walKindBlock, enc)
+		}
+	})
+	b.Run("buffered", func(b *testing.B) {
+		fb := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fb.LogTrust(&blk.Header); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fsync", func(b *testing.B) {
+		fb := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := fb.LogBlock(blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkHotpathStoreOldestContaining(b *testing.B) {
 	key := identity.Deterministic(1, 1)
 	p := block.DefaultParams()

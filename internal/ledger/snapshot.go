@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/identity"
 )
 
@@ -16,9 +18,25 @@ import (
 // architecture is that nobody else holds it). WriteSnapshot/ReadSnapshot
 // serialize a store as a stream of length-prefixed block encodings with
 // a magic header, so deployments can persist to flash and resume.
+//
+// Two stream versions exist:
+//
+//   - v1 (Store.WriteSnapshot / ReadSnapshot): S_i only — magic, owner,
+//     block count, length-prefixed blocks.
+//   - v2 (NodeState.WriteSnapshot / ReadSnapshotState): the whole node —
+//     v1's block section plus the trust store's headers (H_i, insertion
+//     order), the digest cache (A_i, node-sorted), the trust cap, and a
+//     trailing CRC-32C sealing the stream. This is what FileBackend
+//     compacts to, so recovery restores the whole node, not just S_i.
+//
+// The v2 read path accepts v1 streams (empty H_i/A_i), so pre-existing
+// snapshots stay readable.
 
 // snapshotMagic identifies store snapshot streams ("2LDG" + version 1).
 var snapshotMagic = [8]byte{'2', 'L', 'D', 'G', 'S', 'N', 'P', 1}
+
+// snapshotMagicV2 identifies whole-node snapshot streams (version 2).
+var snapshotMagicV2 = [8]byte{'2', 'L', 'D', 'G', 'S', 'N', 'P', 2}
 
 // Snapshot errors.
 var (
@@ -31,6 +49,13 @@ const maxSnapshotBlock = block.MaxBodyLen + 1<<20
 
 // WriteSnapshot serializes the store: magic, owner, block count, then
 // each block length-prefixed in sequence order.
+//
+// Both index modes snapshot identically: an arena-backed compact store
+// (NewStoreInArena) shares its *blocks* with the arena but still owns
+// the ordered log slice — only the responder index is externalized —
+// so serializing the log needs no arena access and the result is
+// byte-identical to a sharded store holding the same blocks
+// (TestSnapshotArenaStore pins this).
 func (s *Store) WriteSnapshot(w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -103,4 +128,243 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 		}
 	}
 	return s, nil
+}
+
+// crcWriter tracks a CRC-32C over everything written, so the v2 writer
+// can seal the stream with a trailing checksum.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, walTable, p[:n])
+	return n, err
+}
+
+// writeU32 writes one little-endian uint32.
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// writeFramed writes a length-prefixed byte string.
+func writeFramed(w io.Writer, p []byte) error {
+	if err := writeU32(w, uint32(len(p))); err != nil {
+		return err
+	}
+	_, err := w.Write(p)
+	return err
+}
+
+// WriteSnapshot serializes the whole node state as a v2 stream:
+//
+//	magic(8) | owner(4) | trustCap(4)
+//	| blockCount(4)  | { len(4) | block.Encode }…
+//	| headerCount(4) | { len(4) | block.EncodeHeader }…  (insertion order)
+//	| entryCount(4)  | { node(4) | digest(32) }…         (node-sorted)
+//	| crc32c(4) over everything above
+//
+// Each structure is serialized under its own read lock; the writer must
+// exclude mutations (or rely on WAL-replay idempotency, as FileBackend
+// compaction does) for the stream to be a consistent cut.
+func (st *NodeState) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := &crcWriter{w: bw}
+	if _, err := cw.Write(snapshotMagicV2[:]); err != nil {
+		return fmt.Errorf("ledger: writing snapshot header: %w", err)
+	}
+	if err := writeU32(cw, uint32(st.Store.Owner())); err != nil {
+		return fmt.Errorf("ledger: writing snapshot meta: %w", err)
+	}
+	if err := writeU32(cw, uint32(st.TrustCap)); err != nil {
+		return fmt.Errorf("ledger: writing snapshot meta: %w", err)
+	}
+	if err := st.Store.writeSnapshotBlocks(cw); err != nil {
+		return err
+	}
+	if err := st.Trust.writeSnapshotHeaders(cw); err != nil {
+		return err
+	}
+	if err := st.Cache.writeSnapshotEntries(cw); err != nil {
+		return err
+	}
+	if err := writeU32(bw, cw.crc); err != nil {
+		return fmt.Errorf("ledger: writing snapshot CRC: %w", err)
+	}
+	return bw.Flush()
+}
+
+// writeSnapshotBlocks writes the block section (count + blocks) under
+// the store's read lock.
+func (s *Store) writeSnapshotBlocks(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := writeU32(w, uint32(len(s.blocks))); err != nil {
+		return fmt.Errorf("ledger: writing block count: %w", err)
+	}
+	for _, b := range s.blocks {
+		if err := writeFramed(w, block.Encode(b)); err != nil {
+			return fmt.Errorf("ledger: writing block: %w", err)
+		}
+	}
+	return nil
+}
+
+// snapReader is a cursor over an in-memory snapshot stream.
+type snapReader struct {
+	buf []byte
+	off int
+}
+
+func (r *snapReader) take(n int) ([]byte, error) {
+	if n < 0 || len(r.buf)-r.off < n {
+		return nil, io.ErrUnexpectedEOF
+	}
+	p := r.buf[r.off : r.off+n]
+	r.off += n
+	return p, nil
+}
+
+func (r *snapReader) u32() (uint32, error) {
+	p, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+func (r *snapReader) framed(limit uint32) ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > limit {
+		return nil, fmt.Errorf("record size %d exceeds limit %d", n, limit)
+	}
+	return r.take(int(n))
+}
+
+// ReadSnapshotState reconstructs a whole-node state from a snapshot
+// stream, accepting both v1 (store-only) and v2. Blocks are re-sealed
+// through opts.Params.SealBlock and — when opts.Ring is set —
+// re-verified with opts.Params.Validate; trust headers are re-sealed.
+// The stream must belong to opts.Owner (ErrWrongOwner otherwise). The
+// trust cap in force is opts.TrustCap when positive, else the v2
+// stream's recorded cap; it is applied before H_i is restored so FIFO
+// bounds hold immediately.
+func ReadSnapshotState(data []byte, opts RecoverOptions) (*NodeState, error) {
+	r := &snapReader{buf: data}
+	magic, err := r.take(8)
+	if err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
+	}
+	var v2 bool
+	switch {
+	case [8]byte(magic) == snapshotMagicV2:
+		v2 = true
+	case [8]byte(magic) == snapshotMagic:
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	if v2 {
+		// The trailing CRC seals everything before it; check it before
+		// trusting any length field.
+		if len(data) < 12 {
+			return nil, fmt.Errorf("%w: truncated", ErrBadSnapshot)
+		}
+		body, tail := data[:len(data)-4], data[len(data)-4:]
+		if crc32.Checksum(body, walTable) != binary.LittleEndian.Uint32(tail) {
+			return nil, fmt.Errorf("%w: CRC mismatch", ErrBadSnapshot)
+		}
+		r.buf = body
+	}
+	ownerWord, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: meta: %v", ErrBadSnapshot, err)
+	}
+	owner := identity.NodeID(ownerWord)
+	if owner != opts.Owner {
+		return nil, fmt.Errorf("%w: snapshot owner %v, recovering %v", ErrWrongOwner, owner, opts.Owner)
+	}
+	trustCap := opts.TrustCap
+	if v2 {
+		recorded, err := r.u32()
+		if err != nil {
+			return nil, fmt.Errorf("%w: meta: %v", ErrBadSnapshot, err)
+		}
+		if trustCap <= 0 {
+			trustCap = int(recorded)
+		}
+	}
+	st := NewNodeState(owner, trustCap)
+
+	blockCount, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: block count: %v", ErrBadSnapshot, err)
+	}
+	for i := uint32(0); i < blockCount; i++ {
+		enc, err := r.framed(maxSnapshotBlock)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+		}
+		b, err := block.Decode(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+		}
+		if b.Header.Origin != owner {
+			return nil, fmt.Errorf("%w: block %d origin %v", ErrWrongOwner, i, b.Header.Origin)
+		}
+		if err := opts.Params.SealBlock(b); err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+		}
+		if opts.Ring != nil {
+			if err := opts.Params.Validate(b, opts.Ring); err != nil {
+				return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+			}
+		}
+		if err := st.Store.Append(b); err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+		}
+	}
+	if !v2 {
+		return st, nil
+	}
+	headerCount, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: header count: %v", ErrBadSnapshot, err)
+	}
+	for i := uint32(0); i < headerCount; i++ {
+		enc, err := r.framed(maxSnapshotBlock)
+		if err != nil {
+			return nil, fmt.Errorf("%w: trust header %d: %v", ErrBadSnapshot, i, err)
+		}
+		h, err := block.DecodeHeader(enc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: trust header %d: %v", ErrBadSnapshot, i, err)
+		}
+		h.Seal()
+		st.Trust.Add(h)
+	}
+	entryCount, err := r.u32()
+	if err != nil {
+		return nil, fmt.Errorf("%w: cache entry count: %v", ErrBadSnapshot, err)
+	}
+	for i := uint32(0); i < entryCount; i++ {
+		p, err := r.take(4 + digest.Size)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cache entry %d: %v", ErrBadSnapshot, i, err)
+		}
+		from := identity.NodeID(binary.LittleEndian.Uint32(p[:4]))
+		var d digest.Digest
+		copy(d[:], p[4:])
+		st.Cache.Update(from, d)
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(r.buf)-r.off)
+	}
+	return st, nil
 }

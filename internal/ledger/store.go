@@ -114,6 +114,10 @@ type Store struct {
 
 	// Sharded mode (arena == nil).
 	shards [storeShardCount]storeShard
+
+	// journal, when set, durably records every append before it is
+	// published (write-ahead). nil = in-memory only.
+	journal Journal
 }
 
 // NewStore creates an empty log owned by the given node, with the
@@ -144,6 +148,17 @@ func (s *Store) shard(d digest.Digest) *storeShard {
 // Owner returns the owning node's ID.
 func (s *Store) Owner() identity.NodeID { return s.owner }
 
+// SetJournal installs a durability journal: every subsequent Append
+// logs the sealed block (and fsyncs, for FileBackend) before the block
+// becomes visible, and a journal error fails the append. Install
+// before the store sees traffic; blocks appended earlier are the
+// recovery layer's concern (snapshot), not the journal's.
+func (s *Store) SetJournal(j Journal) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.journal = j
+}
+
 // Append adds the node's next block. The block must belong to the owner
 // and continue the sequence (genesis = 0).
 //
@@ -167,6 +182,15 @@ func (s *Store) Append(b *block.Block) error {
 	defer s.mu.Unlock()
 	if int(cp.Header.Seq) != len(s.blocks) {
 		return fmt.Errorf("%w: seq %d, want %d", ErrBadSeq, cp.Header.Seq, len(s.blocks))
+	}
+	// Write-ahead: the block is durable (logged + fsynced) before it
+	// becomes visible to any reader. Logging under s.mu makes journal
+	// order exactly apply order, which is what lets WAL replay
+	// reconstruct the log byte for byte.
+	if s.journal != nil {
+		if err := s.journal.LogBlock(cp); err != nil {
+			return fmt.Errorf("ledger: journaling block %v#%d: %w", s.owner, cp.Header.Seq, err)
+		}
 	}
 	s.blocks = append(s.blocks, cp)
 	s.bodyBytes += int64(len(cp.Body))

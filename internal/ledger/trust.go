@@ -1,6 +1,8 @@
 package ledger
 
 import (
+	"fmt"
+	"io"
 	"sync"
 
 	"github.com/twoldag/twoldag/internal/block"
@@ -21,12 +23,19 @@ type TrustStore struct {
 	children  map[digest.Digest][]digest.Digest
 	totalRefs int64
 
-	// FIFO bound (capLimit > 0): order records insertion order from
-	// head onward; the scale runs cap H_i so ten-thousand-validator
-	// simulations stay bounded while live nodes default to unbounded.
+	// order records insertion order from head onward. It serves two
+	// masters: the FIFO bound (capLimit > 0) evicts oldest-inserted
+	// first — the scale runs cap H_i so ten-thousand-validator
+	// simulations stay bounded — and snapshot v2 serializes headers in
+	// insertion order so a restored store reproduces ChildOf's
+	// earliest-inserted-wins choices exactly.
 	capLimit int
 	order    []digest.Digest
 	head     int
+
+	// journal, when set, durably records every newly added header.
+	// nil = in-memory only.
+	journal Journal
 }
 
 // NewTrustStore returns an empty H_i.
@@ -40,13 +49,30 @@ func NewTrustStore() *TrustStore {
 // SetCap bounds H_i to at most n headers, evicting oldest-inserted
 // first. Eviction order is a pure function of insertion order, so a
 // capped store stays deterministic. n <= 0 restores the default
-// unbounded behavior. Call before the store sees traffic: entries
-// already present only start being tracked for eviction from the next
-// Add on.
+// unbounded behavior. Insertion order is always tracked, so a cap set
+// on a populated store takes effect from the next Add on, evicting the
+// oldest entries first.
 func (t *TrustStore) SetCap(n int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.capLimit = n
+}
+
+// Cap returns the FIFO bound in force (0 = unbounded).
+func (t *TrustStore) Cap() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.capLimit
+}
+
+// SetJournal installs a durability journal: every subsequent newly
+// added header is logged (buffered; see FileBackend's fsync
+// discipline) in insertion order. Install before the store sees
+// traffic.
+func (t *TrustStore) SetJournal(j Journal) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.journal = j
 }
 
 // Add stores a verified header. Duplicates are ignored (and detected
@@ -74,6 +100,13 @@ func (t *TrustStore) Add(h *block.Header) bool {
 	if _, ok := t.headers[hh]; ok {
 		return false
 	}
+	// Journal inside the lock so the logged order is exactly the
+	// insertion order replay must reproduce. A journal error degrades
+	// durability, never the live store: the backend keeps it sticky
+	// and surfaces it on Sync/Close.
+	if t.journal != nil {
+		_ = t.journal.LogTrust(cp)
+	}
 	t.headers[hh] = cp
 	for _, ref := range cp.Digests {
 		if ref.Digest.IsZero() {
@@ -82,20 +115,40 @@ func (t *TrustStore) Add(h *block.Header) bool {
 		t.children[ref.Digest] = append(t.children[ref.Digest], hh)
 		t.totalRefs++
 	}
+	t.order = append(t.order, hh)
 	if t.capLimit > 0 {
-		t.order = append(t.order, hh)
 		for len(t.headers) > t.capLimit && t.head < len(t.order) {
 			t.evictLocked(t.order[t.head])
 			t.head++
 		}
-		// Compact the order slice once the dead prefix dominates, so
-		// the backing array doesn't grow with total insertions.
-		if t.head > len(t.order)/2 && t.head > t.capLimit {
-			t.order = append(t.order[:0], t.order[t.head:]...)
-			t.head = 0
-		}
+	}
+	// Compact the order slice once the dead prefix dominates, so the
+	// backing array doesn't grow with total insertions.
+	if t.head > len(t.order)/2 && t.head > t.capLimit && t.head > 64 {
+		t.order = append(t.order[:0], t.order[t.head:]...)
+		t.head = 0
 	}
 	return true
+}
+
+// writeSnapshotHeaders writes the snapshot-v2 trust section (count +
+// headers in insertion order) under the read lock.
+func (t *TrustStore) writeSnapshotHeaders(w io.Writer) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	// order[head:] holds exactly the live headers: every Add appends
+	// one entry and every eviction advances head past one, so the
+	// count and the map size agree by construction.
+	live := t.order[t.head:]
+	if err := writeU32(w, uint32(len(live))); err != nil {
+		return fmt.Errorf("ledger: writing trust count: %w", err)
+	}
+	for _, hh := range live {
+		if err := writeFramed(w, block.EncodeHeader(t.headers[hh])); err != nil {
+			return fmt.Errorf("ledger: writing trust header: %w", err)
+		}
+	}
+	return nil
 }
 
 // evictLocked removes the header with the given hash from both

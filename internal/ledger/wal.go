@@ -1,0 +1,206 @@
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"github.com/twoldag/twoldag/internal/block"
+	"github.com/twoldag/twoldag/internal/digest"
+	"github.com/twoldag/twoldag/internal/identity"
+)
+
+// Write-ahead-log record codec. One record per durable mutation, in a
+// compact fixed-layout binary encoding:
+//
+//	kind    uint8      — walKindBlock | walKindTrust | walKindDigest
+//	length  uint32 LE  — payload byte count
+//	payload [length]   — block.Encode / block.EncodeHeader / node+digest
+//	crc     uint32 LE  — CRC-32C over kind, length, and payload
+//
+// The CRC closes each record, so a torn tail — a crash mid-write
+// leaves a prefix of the final record — is detected and the log is
+// readable up to the last complete record. Replay treats exactly that
+// as the recovery point (see replayWAL); everything before a torn or
+// corrupt record is state the node durably owned.
+
+// WAL record kinds.
+const (
+	walKindBlock  = 1 // payload: block.Encode(b)
+	walKindTrust  = 2 // payload: block.EncodeHeader(h)
+	walKindDigest = 3 // payload: sender uint32 LE + digest [digest.Size]byte
+	walKindForget = 4 // payload: sender uint32 LE
+)
+
+// walHeaderLen is kind + length; walCRCLen trails every record.
+const (
+	walHeaderLen = 1 + 4
+	walCRCLen    = 4
+)
+
+// maxWALPayload bounds one record payload — same bound as a snapshot
+// block record, which dominates the header and digest payloads.
+const maxWALPayload = maxSnapshotBlock
+
+// walTable is the CRC-32C (Castagnoli) table; hardware-accelerated on
+// every platform Go supports.
+var walTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrBadWALRecord marks a structurally invalid record during replay —
+// reported with the byte offset so operators can see how much of a
+// damaged log was recoverable.
+var ErrBadWALRecord = errors.New("ledger: malformed WAL record")
+
+// appendWALRecord appends one framed record to dst and returns the
+// extended slice.
+func appendWALRecord(dst []byte, kind byte, payload []byte) []byte {
+	start := len(dst)
+	dst = append(dst, kind)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	dst = append(dst, lenBuf[:]...)
+	dst = append(dst, payload...)
+	crc := crc32.Checksum(dst[start:], walTable)
+	binary.LittleEndian.PutUint32(lenBuf[:], crc)
+	return append(dst, lenBuf[:]...)
+}
+
+// appendWALDigest appends a digest-cache record payload.
+func appendWALDigest(dst []byte, from identity.NodeID, d digest.Digest) []byte {
+	var node [4]byte
+	binary.LittleEndian.PutUint32(node[:], uint32(from))
+	dst = append(dst, node[:]...)
+	return append(dst, d[:]...)
+}
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	kind    byte
+	payload []byte // aliases the input buffer
+}
+
+// scanWALRecord decodes the record at the head of buf. It returns the
+// record, the number of bytes consumed, and an error. A clean torn
+// tail (buf is a proper prefix of a record: too short, or the CRC
+// bytes themselves are incomplete) returns io.ErrUnexpectedEOF; a CRC
+// mismatch or oversized length returns ErrBadWALRecord. Empty input
+// returns io.EOF.
+func scanWALRecord(buf []byte) (walRecord, int, error) {
+	if len(buf) == 0 {
+		return walRecord{}, 0, io.EOF
+	}
+	if len(buf) < walHeaderLen {
+		return walRecord{}, 0, io.ErrUnexpectedEOF
+	}
+	size := binary.LittleEndian.Uint32(buf[1:walHeaderLen])
+	if size > maxWALPayload {
+		return walRecord{}, 0, fmt.Errorf("%w: payload size %d", ErrBadWALRecord, size)
+	}
+	total := walHeaderLen + int(size) + walCRCLen
+	if len(buf) < total {
+		return walRecord{}, 0, io.ErrUnexpectedEOF
+	}
+	body := buf[:walHeaderLen+int(size)]
+	want := binary.LittleEndian.Uint32(buf[walHeaderLen+int(size) : total])
+	if crc32.Checksum(body, walTable) != want {
+		return walRecord{}, 0, fmt.Errorf("%w: CRC mismatch", ErrBadWALRecord)
+	}
+	return walRecord{kind: buf[0], payload: body[walHeaderLen:]}, total, nil
+}
+
+// walReplayStats reports what one log contributed during recovery.
+type walReplayStats struct {
+	// valid is the byte length of the intact record prefix — the
+	// offset a torn log may safely be truncated to.
+	valid int
+	// torn reports whether the log ended in an incomplete or corrupt
+	// record that was discarded.
+	torn bool
+	// blocks counts block records applied (not skipped as duplicates).
+	blocks int
+}
+
+// replayWAL applies every intact record in buf to st, stopping at the
+// first torn or corrupt record (tolerated: a crash mid-write is the
+// expected way for a WAL to end). Records replay idempotently —
+// blocks already present (sequence below the log length) are skipped,
+// TrustStore.Add deduplicates, digest upserts are latest-wins — so a
+// WAL generation that overlaps the snapshot it preceded is harmless.
+//
+// Blocks are re-sealed through opts.Params.SealBlock and, when
+// opts.Ring is set, re-verified with opts.Params.Validate before they
+// re-enter the store. Structural violations that cannot come from a
+// torn write — wrong owner, a sequence gap — fail recovery rather
+// than truncate it.
+func replayWAL(st *NodeState, buf []byte, opts RecoverOptions) (walReplayStats, error) {
+	var stats walReplayStats
+	off := 0
+	for {
+		rec, n, err := scanWALRecord(buf[off:])
+		if err == io.EOF {
+			return stats, nil
+		}
+		if err != nil {
+			// Torn or corrupt tail: the intact prefix is the durable
+			// state; the rest never finished writing.
+			stats.torn = true
+			return stats, nil
+		}
+		switch rec.kind {
+		case walKindBlock:
+			b, err := block.Decode(rec.payload)
+			if err != nil {
+				return stats, fmt.Errorf("%w: block at offset %d: %v", ErrBadWALRecord, off, err)
+			}
+			if b.Header.Origin != opts.Owner {
+				return stats, fmt.Errorf("%w: block at offset %d origin %v", ErrWrongOwner, off, b.Header.Origin)
+			}
+			switch seq, have := int(b.Header.Seq), st.Store.Len(); {
+			case seq < have:
+				// Already restored by the snapshot (or an earlier WAL
+				// generation): the record predates the last compaction.
+			case seq > have:
+				return stats, fmt.Errorf("%w: block at offset %d seq %d, store has %d", ErrBadWALRecord, off, seq, have)
+			default:
+				if err := opts.Params.SealBlock(b); err != nil {
+					return stats, fmt.Errorf("%w: block at offset %d: %v", ErrBadWALRecord, off, err)
+				}
+				if opts.Ring != nil {
+					if err := opts.Params.Validate(b, opts.Ring); err != nil {
+						return stats, fmt.Errorf("%w: block at offset %d: %v", ErrBadWALRecord, off, err)
+					}
+				}
+				if err := st.Store.Append(b); err != nil {
+					return stats, fmt.Errorf("ledger: WAL replay append: %w", err)
+				}
+				stats.blocks++
+			}
+		case walKindTrust:
+			h, err := block.DecodeHeader(rec.payload)
+			if err != nil {
+				return stats, fmt.Errorf("%w: header at offset %d: %v", ErrBadWALRecord, off, err)
+			}
+			h.Seal()
+			st.Trust.Add(h)
+		case walKindDigest:
+			if len(rec.payload) != 4+digest.Size {
+				return stats, fmt.Errorf("%w: digest record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+			}
+			from := identity.NodeID(binary.LittleEndian.Uint32(rec.payload[:4]))
+			var d digest.Digest
+			copy(d[:], rec.payload[4:])
+			st.Cache.Update(from, d)
+		case walKindForget:
+			if len(rec.payload) != 4 {
+				return stats, fmt.Errorf("%w: forget record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+			}
+			st.Cache.Forget(identity.NodeID(binary.LittleEndian.Uint32(rec.payload[:4])))
+		default:
+			return stats, fmt.Errorf("%w: unknown kind %d at offset %d", ErrBadWALRecord, rec.kind, off)
+		}
+		off += n
+		stats.valid = off
+	}
+}

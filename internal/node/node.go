@@ -76,6 +76,18 @@ type Config struct {
 	// directory state there. Runs on the dispatch goroutine; must not
 	// block.
 	Control func(transport.Envelope)
+	// State, when non-nil, is the recovered ledger state
+	// (snapshot + WAL replay) the node resumes from instead of empty
+	// structures. Its store must be owned by Key.ID.
+	State *ledger.NodeState
+	// TrustCap, when > 0, bounds H_i (FIFO eviction). Applied on top
+	// of any recovered state.
+	TrustCap int
+	// Backend, when non-nil, journals every ledger mutation for crash
+	// recovery. The node attaches it after restoring State (recovery
+	// is never re-journaled) but does not own it: the caller that
+	// opened the backend syncs and closes it after node.Close.
+	Backend ledger.Backend
 	// AnnounceAcks switches delivery acknowledgement to the wire: each
 	// ingested announcement (and each pure re-delivery, whose original
 	// ack may have been lost) is answered with a DigestAck frame, and
@@ -129,7 +141,13 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Ring == nil {
 		return nil, errors.New("node: Config.Ring is required")
 	}
-	eng, err := core.NewEngine(cfg.Key, cfg.Params, cfg.Topo)
+	engOpts := core.EngineOptions{TrustCap: cfg.TrustCap, Backend: cfg.Backend}
+	if cfg.State != nil {
+		engOpts.Store = cfg.State.Store
+		engOpts.Trust = cfg.State.Trust
+		engOpts.Cache = cfg.State.Cache
+	}
+	eng, err := core.NewEngineWith(cfg.Key, cfg.Params, cfg.Topo, engOpts)
 	if err != nil {
 		return nil, fmt.Errorf("node: %w", err)
 	}

@@ -82,6 +82,8 @@ type config struct {
 	chunk     int
 	faultPlan faults.Plan
 	retry     faults.RetryPolicy
+	dataDir   string
+	trustCap  int
 }
 
 func defaultConfig() *config {
@@ -273,6 +275,39 @@ func WithRetryPolicy(p RetryPolicy) Option {
 	}
 }
 
+// WithDataDir makes the live driver's ledgers durable: each node gets
+// a file-backed WAL + snapshot backend under dir/node-<id>
+// (ledger.FileBackend), recovers its whole prior state (S_i, H_i, A_i)
+// on start, and fsyncs every sealed block before acknowledging it. A
+// silenced node can then be brought back with Cluster.Restart, resuming
+// exactly from its last durable record — the crash/recovery scenario
+// of the robustness suite. Live driver only: the simulator's world is
+// rebuilt deterministically from its seed.
+func WithDataDir(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return errors.New("twoldag: WithDataDir(\"\")")
+		}
+		c.dataDir = dir
+		return nil
+	}
+}
+
+// WithTrustCap bounds every node's trust store H_i to n headers,
+// evicting oldest-inserted first (ledger.TrustStore.SetCap) — the knob
+// that keeps long-lived deployments' memory bounded, on both drivers.
+// With WithDataDir the cap is persisted in the snapshot and survives
+// restarts. 0 (default) is unbounded.
+func WithTrustCap(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("twoldag: WithTrustCap(%d): cap must be non-negative", n)
+		}
+		c.trustCap = n
+		return nil
+	}
+}
+
 // WithDriver selects the Runtime implementation (default DriverLive).
 func WithDriver(d Driver) Option {
 	return func(c *config) error {
@@ -349,6 +384,9 @@ func (c *config) validate(g *topology.Graph) error {
 	if c.driver == DriverSim {
 		if c.transport != InMemory {
 			return errors.New("twoldag: WithTransport applies to the live driver only")
+		}
+		if c.dataDir != "" {
+			return errors.New("twoldag: WithDataDir applies to the live driver only")
 		}
 		if c.faultPlan.Active() {
 			return errors.New("twoldag: WithFaults applies to the live driver only")

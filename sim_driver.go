@@ -37,6 +37,7 @@ func newSimDriver(cfg *config, g *topology.Graph) (*SimDriver, error) {
 		// The live driver's PoW and Merkle parameters apply verbatim, so
 		// identical options yield identical blocks on either driver.
 		Difficulty:    cfg.params.Difficulty,
+		TrustCap:      cfg.trustCap,
 		Workers:       cfg.workers,
 		PipelineDepth: cfg.pipeline,
 		ChunkSize:     cfg.chunk,
