@@ -113,10 +113,12 @@ type Cluster struct {
 
 	// Durability (WithDataDir): one FileBackend per node under
 	// dataDir/node-<id>, kept so Silence can flush + close it and
-	// Restart can recover from it.
-	dataDir  string
-	trustCap int
-	backends map[NodeID]*ledger.FileBackend
+	// Restart can recover from it. Each node's WAL is folded into a
+	// snapshot every compactEvery sealed blocks (see maybeCompact).
+	dataDir      string
+	trustCap     int
+	compactEvery int
+	backends     map[NodeID]*ledger.FileBackend
 }
 
 var _ Runtime = (*Cluster)(nil)
@@ -138,9 +140,10 @@ func newCluster(cfg *config, g *topology.Graph) (*Cluster, error) {
 		plan:    cfg.faultPlan,
 		retry:   cfg.retry,
 
-		dataDir:  cfg.dataDir,
-		trustCap: cfg.trustCap,
-		backends: make(map[NodeID]*ledger.FileBackend),
+		dataDir:      cfg.dataDir,
+		trustCap:     cfg.trustCap,
+		compactEvery: cfg.compactEvery,
+		backends:     make(map[NodeID]*ledger.FileBackend),
 	}
 	switch cfg.transport {
 	case TCP:
@@ -269,6 +272,30 @@ func (c *Cluster) liveNeighbors(id NodeID) []NodeID {
 	return out
 }
 
+// maybeCompact folds a node's WAL into a fresh snapshot once the
+// block-record threshold is reached — mirroring cluster.Host's seal
+// path, so a long-lived facade run bounds wal.log growth and the
+// recovery replay tail instead of accumulating every block since
+// start. Runs on the submitter's goroutine right after a seal;
+// concurrent compactions coalesce inside the backend.
+func (c *Cluster) maybeCompact(id NodeID) {
+	fb, ok := c.backends[id]
+	if !ok {
+		return
+	}
+	every := c.compactEvery
+	if every <= 0 {
+		every = cluster.DefaultCompactEvery
+	}
+	if fb.PendingBlocks() < every {
+		return
+	}
+	n := c.nodes[id]
+	_ = fb.Compact(func() (*ledger.NodeState, error) {
+		return n.Engine().State(), nil
+	})
+}
+
 // ackCtx bounds an acknowledgement wait: the caller's deadline rules
 // when present; otherwise the configured request timeout applies.
 func (c *Cluster) ackCtx(ctx context.Context) (context.Context, context.CancelFunc) {
@@ -306,6 +333,7 @@ func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, erro
 	if err != nil {
 		return Ref{}, err
 	}
+	c.maybeCompact(id)
 	w := c.tracker.Expect(d, c.liveNeighbors(id))
 	actx, cancel := c.ackCtx(ctx)
 	defer cancel()
@@ -345,6 +373,7 @@ func (c *Cluster) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, e
 		if err != nil {
 			return fail(err)
 		}
+		c.maybeCompact(sub.Node)
 		refs = append(refs, b.Header.Ref())
 		flushes = append(flushes, flush{n: n, d: d, w: c.tracker.Expect(d, c.liveNeighbors(sub.Node))})
 	}

@@ -42,6 +42,7 @@ func runHost(args []string, join bool) int {
 	// where its last fsync'd block left off.
 	dataDir := fs.String("data", "", "ledger data directory (empty: in-memory only)")
 	trustCap := fs.Int("trust-cap", 0, "bound on retained trust headers H_i, oldest evicted first (0: unbounded)")
+	compactEvery := fs.Int("compact-every", 0, "WAL compaction threshold in block records (0: default 256)")
 
 	var id *uint
 	var addr *string
@@ -77,6 +78,7 @@ func runHost(args []string, join bool) int {
 		RequestTimeout: *timeout,
 		DataDir:        *dataDir,
 		TrustCap:       *trustCap,
+		CompactEvery:   *compactEvery,
 	}
 	if !join {
 		cfg.ID = identity.NodeID(*id)
@@ -107,6 +109,14 @@ func runHost(args []string, join bool) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "twoldag %s: %v\n", name, err)
 		return 1
+	}
+	if rep, ok := h.RecoveryReport(); ok {
+		fmt.Fprintf(os.Stderr, "twoldag %s: recovered %d snapshot + %d WAL blocks from %s\n",
+			name, rep.SnapshotBlocks, rep.WALBlocks, *dataDir)
+		if rep.TornTail {
+			fmt.Fprintf(os.Stderr, "twoldag %s: discarded a %d-byte torn WAL tail (unacknowledged final record)\n",
+				name, rep.TornBytes)
+		}
 	}
 
 	// SIGINT/SIGTERM take the same graceful path as a leave op: cancel

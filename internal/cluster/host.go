@@ -82,9 +82,10 @@ type Config struct {
 	CompactEvery int
 }
 
-// defaultCompactEvery is the WAL compaction threshold when
-// Config.CompactEvery is zero.
-const defaultCompactEvery = 256
+// DefaultCompactEvery is the WAL compaction threshold (in block
+// records) when Config.CompactEvery is zero — shared with the facade
+// driver so both seal paths bound their replay tails identically.
+const DefaultCompactEvery = 256
 
 // member is one directory entry.
 type member struct {
@@ -631,7 +632,7 @@ func (h *Host) maybeCompact() {
 	}
 	every := h.cfg.CompactEvery
 	if every <= 0 {
-		every = defaultCompactEvery
+		every = DefaultCompactEvery
 	}
 	if h.backend.PendingBlocks() < every {
 		return
@@ -654,6 +655,17 @@ func (h *Host) Compact() error {
 	return h.backend.Compact(func() (*ledger.NodeState, error) {
 		return h.node.Engine().State(), nil
 	})
+}
+
+// RecoveryReport returns what startup recovery read from the data dir;
+// ok is false without one. A true TornTail means the previous run's
+// final, never-acknowledged WAL record was discarded — worth a log
+// line, never an error.
+func (h *Host) RecoveryReport() (ledger.RecoveryReport, bool) {
+	if h.backend == nil {
+		return ledger.RecoveryReport{}, false
+	}
+	return h.backend.RecoveryReport(), true
 }
 
 // Latest returns the ref and digest of this node's newest sealed

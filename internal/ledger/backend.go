@@ -50,8 +50,11 @@ type Journal interface {
 	// error fails the append: durability is write-ahead, a block that
 	// cannot be logged is not accepted.
 	LogBlock(b *block.Block) error
-	// LogTrust records a sealed header added to H_i.
-	LogTrust(h *block.Header) error
+	// LogTrust records a sealed header added to H_i. inserted is the
+	// header's zero-based index in H_i's lifetime insertion sequence
+	// (TrustStore.Insertions at Add time); recovery uses it to skip
+	// records a snapshot already accounts for, FIFO evictions included.
+	LogTrust(h *block.Header, inserted int64) error
 	// LogDigest records a digest-cache upsert: from's latest digest.
 	LogDigest(from identity.NodeID, d digest.Digest) error
 	// LogForget records a digest-cache entry removal (dynamic leave),

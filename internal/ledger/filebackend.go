@@ -36,7 +36,11 @@ import (
 // Torn writes: a crash mid-record leaves wal.log with an incomplete or
 // CRC-failing tail. Recovery replays the intact prefix, discards the
 // tail, and the post-recovery compaction rewrites a clean snapshot —
-// so the node restarts exactly at the last durable record.
+// so the node restarts exactly at the last durable record. Only
+// wal.log may end torn: a failed write poisons the generation and the
+// partial frame is truncated away before any further record (or the
+// rotation rename) — so replay never has to skip mid-file garbage, and
+// a torn wal.old is treated as corruption, not tolerated.
 const (
 	snapshotFileName = "snapshot.2ldg"
 	walFileName      = "wal.log"
@@ -53,12 +57,41 @@ type FileBackend struct {
 	mu         sync.Mutex
 	f          *os.File // wal.log, append-only
 	scratch    []byte   // record frame scratch, reused under mu
-	dscratch   []byte   // digest payload scratch, reused under mu
+	pscratch   []byte   // trust/digest payload scratch, reused under mu
 	pending    int      // block records in the current WAL generation
 	compacting bool
 	closed     bool
 	deferred   error // sticky trust/digest journal error (see Sync)
 	recovered  bool
+	report     RecoveryReport
+
+	// goodOff is the byte length of wal.log's known-intact record
+	// prefix; dirty marks that a failed write may have left a partial
+	// frame after it. Every write first repairs (truncates back to
+	// goodOff), so an fsynced block record is never preceded by garbage
+	// — replay stops at the first corrupt record, and a block record
+	// stranded behind one would be acknowledged-then-lost.
+	goodOff int64
+	dirty   bool
+}
+
+// RecoveryReport summarizes what the last Recover read from disk, so
+// callers can surface how much state replayed and whether a torn WAL
+// tail — bytes written but never fsync-acknowledged — was discarded.
+type RecoveryReport struct {
+	// SnapshotBlocks counts blocks restored from the snapshot.
+	SnapshotBlocks int
+	// WALBlocks counts block records applied during WAL replay (both
+	// generations, duplicates of the snapshot excluded).
+	WALBlocks int
+	// WALBytes is the intact record prefix replayed across both WAL
+	// generations.
+	WALBytes int
+	// TornTail reports that wal.log ended in an incomplete or corrupt
+	// record; TornBytes is the discarded suffix length. Torn tails only
+	// ever hold unacknowledged data.
+	TornTail  bool
+	TornBytes int
 }
 
 // OpenFileBackend opens (creating if needed) the data directory and
@@ -71,7 +104,12 @@ func OpenFileBackend(dir string) (*FileBackend, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ledger: opening WAL: %w", err)
 	}
-	return &FileBackend{dir: dir, f: f}, nil
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: statting WAL: %w", err)
+	}
+	return &FileBackend{dir: dir, f: f, goodOff: info.Size()}, nil
 }
 
 // Dir returns the backend's data directory.
@@ -106,20 +144,36 @@ func (fb *FileBackend) Recover(opts RecoverOptions) (*NodeState, error) {
 			return nil, err
 		}
 	}
+	report := RecoveryReport{SnapshotBlocks: st.Store.Len()}
 	// The trust cap must be in force before replay so FIFO evictions
-	// replay exactly as they happened live.
-	for _, name := range []string{walOldFileName, walFileName} {
-		buf, err := os.ReadFile(filepath.Join(fb.dir, name))
+	// replay exactly as they happened live. A torn tail is tolerated
+	// only in wal.log — the generation a crash can tear mid-write;
+	// wal.old was synced and repaired before its rotation rename, so a
+	// torn record there is corruption that would silently drop every
+	// acknowledged record after it.
+	for _, gen := range []struct {
+		name      string
+		allowTorn bool
+	}{{walOldFileName, false}, {walFileName, true}} {
+		buf, err := os.ReadFile(filepath.Join(fb.dir, gen.name))
 		if errors.Is(err, fs.ErrNotExist) {
 			continue
 		}
 		if err != nil {
-			return nil, fmt.Errorf("ledger: reading %s: %w", name, err)
+			return nil, fmt.Errorf("ledger: reading %s: %w", gen.name, err)
 		}
-		if _, err := replayWAL(st, buf, opts); err != nil {
-			return nil, fmt.Errorf("ledger: replaying %s: %w", name, err)
+		stats, err := replayWAL(st, buf, opts, gen.allowTorn)
+		if err != nil {
+			return nil, fmt.Errorf("ledger: replaying %s: %w", gen.name, err)
+		}
+		report.WALBlocks += stats.blocks
+		report.WALBytes += stats.valid
+		if stats.torn {
+			report.TornTail = true
+			report.TornBytes = len(buf) - stats.valid
 		}
 	}
+	fb.report = report
 	fb.recovered = true
 	// Normalize on disk: recovered state → fresh snapshot, empty WAL,
 	// no wal.old. Done under mu — nothing else can log yet.
@@ -172,6 +226,8 @@ func (fb *FileBackend) resetWALLocked() error {
 		return fmt.Errorf("ledger: truncating WAL: %w", err)
 	}
 	fb.pending = 0
+	fb.goodOff = 0
+	fb.dirty = false
 	return nil
 }
 
@@ -184,15 +240,40 @@ func (fb *FileBackend) syncDir() {
 	}
 }
 
-// logLocked frames and writes one record. Caller holds fb.mu.
+// repairLocked truncates a poisoned tail — the partial frame a failed
+// write may have left past goodOff — back to the last intact record
+// boundary. Until it succeeds no further record may be appended: a
+// record behind garbage is unreachable to replay, and for a block
+// record that would break the write-ahead guarantee (fsync-acknowledged
+// yet lost on recovery). Caller holds fb.mu.
+func (fb *FileBackend) repairLocked() error {
+	if !fb.dirty {
+		return nil
+	}
+	if err := fb.f.Truncate(fb.goodOff); err != nil {
+		return fmt.Errorf("ledger: truncating partial WAL record: %w", err)
+	}
+	fb.dirty = false
+	return nil
+}
+
+// logLocked frames and writes one record, repairing any poisoned tail
+// first. Caller holds fb.mu.
 func (fb *FileBackend) logLocked(kind byte, payload []byte) error {
 	if fb.closed {
 		return ErrBackendClosed
 	}
+	if err := fb.repairLocked(); err != nil {
+		return err
+	}
 	fb.scratch = appendWALRecord(fb.scratch[:0], kind, payload)
 	if _, err := fb.f.Write(fb.scratch); err != nil {
+		// os.File.Write can fail after writing some bytes (ENOSPC, I/O
+		// error): everything past goodOff is garbage until repaired.
+		fb.dirty = true
 		return fmt.Errorf("ledger: writing WAL record: %w", err)
 	}
+	fb.goodOff += int64(len(fb.scratch))
 	return nil
 }
 
@@ -206,6 +287,12 @@ func (fb *FileBackend) LogBlock(b *block.Block) error {
 		return err
 	}
 	if err := fb.f.Sync(); err != nil {
+		// The record's durability is unknown and the append will fail:
+		// poison it so the next write truncates it away — if it did
+		// reach disk, replay would otherwise restore a block the store
+		// never accepted, shadowing the real holder of its sequence.
+		fb.goodOff -= int64(len(fb.scratch))
+		fb.dirty = true
 		return fmt.Errorf("ledger: syncing WAL: %w", err)
 	}
 	fb.pending++
@@ -214,10 +301,11 @@ func (fb *FileBackend) LogBlock(b *block.Block) error {
 
 // LogTrust writes a trust-store record (no fsync; see the package
 // discipline above). Errors are additionally kept sticky for Sync.
-func (fb *FileBackend) LogTrust(h *block.Header) error {
+func (fb *FileBackend) LogTrust(h *block.Header, inserted int64) error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
-	err := fb.logLocked(walKindTrust, block.EncodeHeader(h))
+	fb.pscratch = appendWALTrust(fb.pscratch[:0], inserted, h)
+	err := fb.logLocked(walKindTrust, fb.pscratch)
 	if err != nil && fb.deferred == nil && !errors.Is(err, ErrBackendClosed) {
 		fb.deferred = err
 	}
@@ -229,8 +317,8 @@ func (fb *FileBackend) LogTrust(h *block.Header) error {
 func (fb *FileBackend) LogDigest(from identity.NodeID, d digest.Digest) error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
-	fb.dscratch = appendWALDigest(fb.dscratch[:0], from, d)
-	err := fb.logLocked(walKindDigest, fb.dscratch)
+	fb.pscratch = appendWALDigest(fb.pscratch[:0], from, d)
+	err := fb.logLocked(walKindDigest, fb.pscratch)
 	if err != nil && fb.deferred == nil && !errors.Is(err, ErrBackendClosed) {
 		fb.deferred = err
 	}
@@ -256,6 +344,14 @@ func (fb *FileBackend) PendingBlocks() int {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	return fb.pending
+}
+
+// RecoveryReport returns what the last Recover read from disk; the
+// zero report before Recover has run.
+func (fb *FileBackend) RecoveryReport() RecoveryReport {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return fb.report
 }
 
 // Compact rotates the WAL and folds everything into a fresh snapshot:
@@ -311,8 +407,14 @@ func (fb *FileBackend) Compact(gather func() (*NodeState, error)) error {
 }
 
 // rotateLocked closes the current WAL generation as wal.old and opens
-// a fresh wal.log. Caller holds fb.mu with compacting set.
+// a fresh wal.log. The generation is repaired before the rename, so
+// wal.old never carries a partial frame — which is what entitles
+// recovery to treat a torn wal.old as corruption rather than a crash
+// artifact. Caller holds fb.mu with compacting set.
 func (fb *FileBackend) rotateLocked() error {
+	if err := fb.repairLocked(); err != nil {
+		return fmt.Errorf("ledger: rotating WAL: %w", err)
+	}
 	if err := fb.f.Sync(); err != nil {
 		return fmt.Errorf("ledger: syncing WAL for rotation: %w", err)
 	}
@@ -329,6 +431,8 @@ func (fb *FileBackend) rotateLocked() error {
 	}
 	fb.f = f
 	fb.pending = 0
+	fb.goodOff = 0
+	fb.dirty = false
 	fb.syncDir()
 	return nil
 }
@@ -341,11 +445,15 @@ func (fb *FileBackend) Sync() error {
 	if fb.closed {
 		return ErrBackendClosed
 	}
+	rerr := fb.repairLocked()
 	if err := fb.f.Sync(); err != nil {
 		return fmt.Errorf("ledger: syncing WAL: %w", err)
 	}
 	err := fb.deferred
 	fb.deferred = nil
+	if err == nil {
+		err = rerr
+	}
 	return err
 }
 
@@ -357,8 +465,11 @@ func (fb *FileBackend) Close() error {
 	if fb.closed {
 		return ErrBackendClosed
 	}
+	err := fb.repairLocked()
 	fb.closed = true
-	err := fb.f.Sync()
+	if serr := fb.f.Sync(); err == nil {
+		err = serr
+	}
 	if cerr := fb.f.Close(); err == nil {
 		err = cerr
 	}

@@ -300,3 +300,234 @@ func TestFileBackendRing(t *testing.T) {
 		t.Fatal("forged WAL block recovered with Ring set")
 	}
 }
+
+// TestFileBackendPartialWriteRepair: a failed write can leave a
+// partial frame mid-WAL (os.File.Write errors after writing some
+// bytes, e.g. ENOSPC). The generation is poisoned; the next write
+// truncates back to the last intact record, so blocks fsynced after
+// the failure are never stranded behind garbage that replay would
+// stop at.
+func TestFileBackendPartialWriteRepair(t *testing.T) {
+	dir := t.TempDir()
+	opts := RecoverOptions{Owner: 4, Params: testParams()}
+	fb, st := openBackend(t, dir, opts)
+	driveState(t, st, 2)
+
+	// Inject the failure aftermath exactly as logLocked records it:
+	// bytes on disk past goodOff, dirty set. (Half a frame header is as
+	// ugly as it gets — replay could not even skip it as a bad record.)
+	fb.mu.Lock()
+	if _, err := fb.f.Write([]byte{walKindTrust, 0xFF, 0xFF}); err != nil {
+		fb.mu.Unlock()
+		t.Fatal(err)
+	}
+	fb.dirty = true
+	fb.mu.Unlock()
+
+	// Logging continues: the next append must repair first, then the
+	// block fsync acknowledges it.
+	driveState(t, st, 1)
+	want := stateBytes(t, st)
+
+	// The on-disk generation is clean again: replaying it from scratch
+	// finds no tear and every block record.
+	buf, err := os.ReadFile(filepath.Join(dir, walFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := replayWAL(NewNodeState(4, 0), buf, opts, true)
+	if err != nil {
+		t.Fatalf("replaying repaired WAL: %v", err)
+	}
+	if stats.torn || stats.blocks != 3 {
+		t.Fatalf("repaired WAL stats = %+v, want 3 intact blocks, no tear", stats)
+	}
+
+	// Crash (drop the handle) and recover: every acknowledged block —
+	// including the one appended after the failure — survives.
+	fb2, st2 := openBackend(t, dir, opts)
+	defer fb2.Close()
+	if !bytes.Equal(stateBytes(t, st2), want) {
+		t.Fatal("recovery after a repaired partial write differs")
+	}
+}
+
+// TestFileBackendPartialWriteRepairOnRotate: rotation must not rename
+// a poisoned generation — wal.old carrying a partial frame would turn
+// recovery's strict old-generation replay into a spurious failure.
+func TestFileBackendPartialWriteRepairOnRotate(t *testing.T) {
+	dir := t.TempDir()
+	opts := RecoverOptions{Owner: 4, Params: testParams()}
+	fb, st := openBackend(t, dir, opts)
+	driveState(t, st, 2)
+
+	fb.mu.Lock()
+	if _, err := fb.f.Write([]byte("torn frame")); err != nil {
+		fb.mu.Unlock()
+		t.Fatal(err)
+	}
+	fb.dirty = true
+	fb.mu.Unlock()
+
+	// Compact rotates (repairing first), then snapshots and deletes
+	// wal.old — simulate the compaction crash window by checking the
+	// rotated file directly before the gather callback runs.
+	var rotated []byte
+	if err := fb.Compact(func() (*NodeState, error) {
+		var err error
+		rotated, err = os.ReadFile(filepath.Join(dir, walOldFileName))
+		return st, err
+	}); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if stats, err := replayWAL(NewNodeState(4, 0), rotated, opts, false); err != nil {
+		t.Fatalf("rotated generation fails strict replay: %v", err)
+	} else if stats.blocks != 2 {
+		t.Fatalf("rotated generation holds %d blocks, want 2", stats.blocks)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFileBackendTornOldWAL: wal.old is synced and repaired before its
+// rotation rename, so a torn record there is corruption — recovery
+// must refuse rather than silently drop every record after the tear.
+func TestFileBackendTornOldWAL(t *testing.T) {
+	dir := t.TempDir()
+	key := identity.Deterministic(4, 4)
+	blocks := chainFor(t, key, 2, nil)
+	var log []byte
+	log = appendWALRecord(log, walKindBlock, block.Encode(blocks[0]))
+	log = appendWALRecord(log, walKindBlock, block.Encode(blocks[1]))
+	if err := os.WriteFile(filepath.Join(dir, walOldFileName), log[:len(log)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fb, err := OpenFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fb.Close()
+	if _, err := fb.Recover(RecoverOptions{Owner: 4, Params: testParams()}); !errors.Is(err, ErrBadWALRecord) {
+		t.Fatalf("torn wal.old recovered: %v", err)
+	}
+}
+
+// TestFileBackendRecoveryReport: the report counts snapshot blocks,
+// replayed WAL blocks and bytes, and surfaces a discarded torn tail.
+func TestFileBackendRecoveryReport(t *testing.T) {
+	dir := t.TempDir()
+	opts := RecoverOptions{Owner: 4, Params: testParams()}
+	fb, st := openBackend(t, dir, opts)
+	driveState(t, st, 2)
+	if err := fb.Compact(func() (*NodeState, error) { return st, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One intact block record, then a torn one.
+	key := identity.Deterministic(4, 4)
+	blocks := chainFor(t, key, 4, nil)
+	var log []byte
+	log = appendWALRecord(log, walKindBlock, block.Encode(blocks[2]))
+	intact := len(log)
+	log = appendWALRecord(log, walKindBlock, block.Encode(blocks[3]))
+	torn := log[:len(log)-3]
+	if err := os.WriteFile(filepath.Join(dir, walFileName), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fb2, st2 := openBackend(t, dir, opts)
+	defer fb2.Close()
+	rep := fb2.RecoveryReport()
+	want := RecoveryReport{
+		SnapshotBlocks: 2,
+		WALBlocks:      1,
+		WALBytes:       intact,
+		TornTail:       true,
+		TornBytes:      len(torn) - intact,
+	}
+	if rep != want {
+		t.Fatalf("report = %+v, want %+v", rep, want)
+	}
+	if st2.Store.Len() != 3 {
+		t.Fatalf("recovered %d blocks, want 3", st2.Store.Len())
+	}
+}
+
+// TestFileBackendTrustEvictionHorizon is the reviewer's capped-trust
+// scenario: a snapshot taken after FIFO evictions, with the pre-
+// eviction trust records still in a not-yet-deleted wal.old (the
+// compaction crash window). Replaying those records must not re-add
+// evicted headers — each carries its insertion index, and the
+// snapshot's recorded insertion count is the replay horizon.
+func TestFileBackendTrustEvictionHorizon(t *testing.T) {
+	dir := t.TempDir()
+	opts := RecoverOptions{Owner: 4, Params: testParams(), TrustCap: 2}
+	fb, st := openBackend(t, dir, opts)
+
+	nb := chainFor(t, identity.Deterministic(9, 4), 6, nil)
+	for _, b := range nb {
+		st.Trust.Add(b.Header.Clone())
+	}
+	if st.Trust.Len() != 2 || st.Trust.Insertions() != 6 {
+		t.Fatalf("live: len=%d inserted=%d", st.Trust.Len(), st.Trust.Insertions())
+	}
+	if err := fb.Compact(func() (*NodeState, error) { return st, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct the crash window: snapshot committed, wal.old (with
+	// every pre-snapshot trust record) not yet deleted, plus one
+	// post-snapshot insertion in wal.log.
+	extra := chainFor(t, identity.Deterministic(8, 4), 1, nil)[0]
+	var old []byte
+	for i, b := range nb {
+		old = appendWALRecord(old, walKindTrust, appendWALTrust(nil, int64(i), &b.Header))
+	}
+	if err := os.WriteFile(filepath.Join(dir, walOldFileName), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := appendWALRecord(nil, walKindTrust, appendWALTrust(nil, 6, &extra.Header))
+	if err := os.WriteFile(filepath.Join(dir, walFileName), cur, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fb2, st2 := openBackend(t, dir, opts)
+	defer fb2.Close()
+	// Records 0..5 are below the horizon (skipped); record 6 applies,
+	// evicting the oldest live header exactly as it would have live.
+	ref := NewNodeState(4, 2)
+	for _, b := range nb {
+		ref.Trust.Add(b.Header.Clone())
+	}
+	ref.Trust.Add(extra.Header.Clone())
+	if !bytes.Equal(stateBytes(t, st2), stateBytes(t, ref)) {
+		t.Fatal("capped trust store diverged across the compaction crash window")
+	}
+	if st2.Trust.Insertions() != 7 {
+		t.Fatalf("inserted = %d, want 7", st2.Trust.Insertions())
+	}
+
+	// Replant the stale generation against the normalized snapshot
+	// (horizon now 7): every record is below it, so recovery changes
+	// nothing.
+	want := stateBytes(t, st2)
+	if err := fb2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walOldFileName), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fb3, st3 := openBackend(t, dir, opts)
+	defer fb3.Close()
+	if !bytes.Equal(stateBytes(t, st3), want) {
+		t.Fatal("stale trust records re-entered the capped store")
+	}
+}

@@ -56,7 +56,7 @@ func BenchmarkHotpathWALAppend(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if err := fb.LogTrust(&blk.Header); err != nil {
+			if err := fb.LogTrust(&blk.Header, int64(i)); err != nil {
 				b.Fatal(err)
 			}
 		}

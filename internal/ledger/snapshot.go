@@ -151,6 +151,14 @@ func writeU32(w io.Writer, v uint32) error {
 	return err
 }
 
+// writeU64 writes one little-endian uint64.
+func writeU64(w io.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
 // writeFramed writes a length-prefixed byte string.
 func writeFramed(w io.Writer, p []byte) error {
 	if err := writeU32(w, uint32(len(p))); err != nil {
@@ -164,6 +172,7 @@ func writeFramed(w io.Writer, p []byte) error {
 //
 //	magic(8) | owner(4) | trustCap(4)
 //	| blockCount(4)  | { len(4) | block.Encode }…
+//	| trustInserted(8)                                   (lifetime H_i Adds)
 //	| headerCount(4) | { len(4) | block.EncodeHeader }…  (insertion order)
 //	| entryCount(4)  | { node(4) | digest(32) }…         (node-sorted)
 //	| crc32c(4) over everything above
@@ -235,6 +244,14 @@ func (r *snapReader) u32() (uint32, error) {
 		return 0, err
 	}
 	return binary.LittleEndian.Uint32(p), nil
+}
+
+func (r *snapReader) u64() (uint64, error) {
+	p, err := r.take(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(p), nil
 }
 
 func (r *snapReader) framed(limit uint32) ([]byte, error) {
@@ -333,9 +350,16 @@ func ReadSnapshotState(data []byte, opts RecoverOptions) (*NodeState, error) {
 	if !v2 {
 		return st, nil
 	}
+	trustInserted, err := r.u64()
+	if err != nil {
+		return nil, fmt.Errorf("%w: trust insertion count: %v", ErrBadSnapshot, err)
+	}
 	headerCount, err := r.u32()
 	if err != nil {
 		return nil, fmt.Errorf("%w: header count: %v", ErrBadSnapshot, err)
+	}
+	if trustInserted > uint64(1)<<62 || trustInserted < uint64(headerCount) {
+		return nil, fmt.Errorf("%w: trust insertion count %d with %d headers", ErrBadSnapshot, trustInserted, headerCount)
 	}
 	for i := uint32(0); i < headerCount; i++ {
 		enc, err := r.framed(maxSnapshotBlock)
@@ -349,6 +373,9 @@ func ReadSnapshotState(data []byte, opts RecoverOptions) (*NodeState, error) {
 		h.Seal()
 		st.Trust.Add(h)
 	}
+	// The recorded count, not the restored Adds, is the replay horizon:
+	// it includes headers inserted and since evicted before the gather.
+	st.Trust.setInsertions(int64(trustInserted))
 	entryCount, err := r.u32()
 	if err != nil {
 		return nil, fmt.Errorf("%w: cache entry count: %v", ErrBadSnapshot, err)

@@ -32,6 +32,12 @@ type TrustStore struct {
 	capLimit int
 	order    []digest.Digest
 	head     int
+	// inserted counts successful Adds over the store's lifetime. It is
+	// the insertion horizon durability needs: each journaled header
+	// carries its index, snapshots record the count at gather time, and
+	// WAL replay skips records below it — re-adding a since-evicted
+	// header would evict a different live one.
+	inserted int64
 
 	// journal, when set, durably records every newly added header.
 	// nil = in-memory only.
@@ -101,12 +107,14 @@ func (t *TrustStore) Add(h *block.Header) bool {
 		return false
 	}
 	// Journal inside the lock so the logged order is exactly the
-	// insertion order replay must reproduce. A journal error degrades
+	// insertion order replay must reproduce; the index identifies this
+	// insertion across snapshot horizons. A journal error degrades
 	// durability, never the live store: the backend keeps it sticky
 	// and surfaces it on Sync/Close.
 	if t.journal != nil {
-		_ = t.journal.LogTrust(cp)
+		_ = t.journal.LogTrust(cp, t.inserted)
 	}
+	t.inserted++
 	t.headers[hh] = cp
 	for _, ref := range cp.Digests {
 		if ref.Digest.IsZero() {
@@ -131,11 +139,31 @@ func (t *TrustStore) Add(h *block.Header) bool {
 	return true
 }
 
-// writeSnapshotHeaders writes the snapshot-v2 trust section (count +
-// headers in insertion order) under the read lock.
+// Insertions returns the number of successful Adds over the store's
+// lifetime (evicted headers included) — the replay horizon recorded in
+// snapshots and carried by every journaled trust record.
+func (t *TrustStore) Insertions() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.inserted
+}
+
+// setInsertions restores the lifetime insertion count from a snapshot.
+func (t *TrustStore) setInsertions(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.inserted = n
+}
+
+// writeSnapshotHeaders writes the snapshot-v2 trust section (insertion
+// count + live-header count + headers in insertion order) under the
+// read lock.
 func (t *TrustStore) writeSnapshotHeaders(w io.Writer) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	if err := writeU64(w, uint64(t.inserted)); err != nil {
+		return fmt.Errorf("ledger: writing trust insertion count: %w", err)
+	}
 	// order[head:] holds exactly the live headers: every Add appends
 	// one entry and every eviction advances head past one, so the
 	// count and the map size agree by construction.

@@ -17,7 +17,7 @@ import (
 //
 //	kind    uint8      — walKindBlock | walKindTrust | walKindDigest
 //	length  uint32 LE  — payload byte count
-//	payload [length]   — block.Encode / block.EncodeHeader / node+digest
+//	payload [length]   — see the per-kind layouts below
 //	crc     uint32 LE  — CRC-32C over kind, length, and payload
 //
 // The CRC closes each record, so a torn tail — a crash mid-write
@@ -29,10 +29,13 @@ import (
 // WAL record kinds.
 const (
 	walKindBlock  = 1 // payload: block.Encode(b)
-	walKindTrust  = 2 // payload: block.EncodeHeader(h)
+	walKindTrust  = 2 // payload: insertion index uint64 LE + block.EncodeHeader(h)
 	walKindDigest = 3 // payload: sender uint32 LE + digest [digest.Size]byte
 	walKindForget = 4 // payload: sender uint32 LE
 )
+
+// walTrustPrefix is the insertion-index prefix of a trust payload.
+const walTrustPrefix = 8
 
 // walHeaderLen is kind + length; walCRCLen trails every record.
 const (
@@ -65,6 +68,18 @@ func appendWALRecord(dst []byte, kind byte, payload []byte) []byte {
 	crc := crc32.Checksum(dst[start:], walTable)
 	binary.LittleEndian.PutUint32(lenBuf[:], crc)
 	return append(dst, lenBuf[:]...)
+}
+
+// appendWALTrust appends a trust record payload: the header's lifetime
+// insertion index in H_i followed by its encoding. The index lets
+// replay skip Adds the snapshot already accounts for — re-adding a
+// header a capped store had since evicted would evict a different live
+// header and break byte-identical recovery.
+func appendWALTrust(dst []byte, inserted int64, h *block.Header) []byte {
+	var idx [walTrustPrefix]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(inserted))
+	dst = append(dst, idx[:]...)
+	return append(dst, block.EncodeHeader(h)...)
 }
 
 // appendWALDigest appends a digest-cache record payload.
@@ -122,19 +137,24 @@ type walReplayStats struct {
 	blocks int
 }
 
-// replayWAL applies every intact record in buf to st, stopping at the
-// first torn or corrupt record (tolerated: a crash mid-write is the
-// expected way for a WAL to end). Records replay idempotently —
-// blocks already present (sequence below the log length) are skipped,
-// TrustStore.Add deduplicates, digest upserts are latest-wins — so a
-// WAL generation that overlaps the snapshot it preceded is harmless.
+// replayWAL applies every intact record in buf to st. With allowTorn
+// set it stops silently at the first torn or corrupt record (a crash
+// mid-write is the expected way for the *current* WAL generation to
+// end); without it a torn record fails recovery — a rotated generation
+// (wal.old) is synced and repaired before rotation, so damage there is
+// real corruption, and tolerating it would silently drop every record
+// after it. Records replay idempotently — blocks already present
+// (sequence below the log length) are skipped, trust records below the
+// store's insertion horizon are skipped, digest upserts are
+// latest-wins — so a WAL generation that overlaps the snapshot it
+// preceded is harmless.
 //
 // Blocks are re-sealed through opts.Params.SealBlock and, when
 // opts.Ring is set, re-verified with opts.Params.Validate before they
 // re-enter the store. Structural violations that cannot come from a
 // torn write — wrong owner, a sequence gap — fail recovery rather
 // than truncate it.
-func replayWAL(st *NodeState, buf []byte, opts RecoverOptions) (walReplayStats, error) {
+func replayWAL(st *NodeState, buf []byte, opts RecoverOptions, allowTorn bool) (walReplayStats, error) {
 	var stats walReplayStats
 	off := 0
 	for {
@@ -146,6 +166,9 @@ func replayWAL(st *NodeState, buf []byte, opts RecoverOptions) (walReplayStats, 
 			// Torn or corrupt tail: the intact prefix is the durable
 			// state; the rest never finished writing.
 			stats.torn = true
+			if !allowTorn {
+				return stats, fmt.Errorf("%w: record at offset %d in a rotated generation: %v", ErrBadWALRecord, off, err)
+			}
 			return stats, nil
 		}
 		switch rec.kind {
@@ -178,12 +201,23 @@ func replayWAL(st *NodeState, buf []byte, opts RecoverOptions) (walReplayStats, 
 				stats.blocks++
 			}
 		case walKindTrust:
-			h, err := block.DecodeHeader(rec.payload)
+			if len(rec.payload) < walTrustPrefix {
+				return stats, fmt.Errorf("%w: trust record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+			}
+			idx := int64(binary.LittleEndian.Uint64(rec.payload[:walTrustPrefix]))
+			h, err := block.DecodeHeader(rec.payload[walTrustPrefix:])
 			if err != nil {
 				return stats, fmt.Errorf("%w: header at offset %d: %v", ErrBadWALRecord, off, err)
 			}
-			h.Seal()
-			st.Trust.Add(h)
+			// Skip insertions the snapshot already accounts for: the
+			// header may have been FIFO-evicted since, and re-adding it
+			// would evict a different live header instead. At or above
+			// the horizon the Add replays with the exact state it saw
+			// live, so its evictions replay identically too.
+			if idx >= st.Trust.Insertions() {
+				h.Seal()
+				st.Trust.Add(h)
+			}
 		case walKindDigest:
 			if len(rec.payload) != 4+digest.Size {
 				return stats, fmt.Errorf("%w: digest record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))

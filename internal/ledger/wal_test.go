@@ -79,13 +79,13 @@ func TestWALReplayAllKinds(t *testing.T) {
 	for _, b := range blocks {
 		log = appendWALRecord(log, walKindBlock, block.Encode(b))
 	}
-	log = appendWALRecord(log, walKindTrust, block.EncodeHeader(&nb.Header))
+	log = appendWALRecord(log, walKindTrust, appendWALTrust(nil, 0, &nb.Header))
 	log = appendWALRecord(log, walKindDigest, appendWALDigest(nil, 9, d))
 	log = appendWALRecord(log, walKindDigest, appendWALDigest(nil, 8, d))
 	log = appendWALRecord(log, walKindForget, []byte{8, 0, 0, 0})
 
 	st := walState()
-	stats, err := replayWAL(st, log, walOpts())
+	stats, err := replayWAL(st, log, walOpts(), true)
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
@@ -122,7 +122,7 @@ func TestWALReplayTornTail(t *testing.T) {
 
 	for _, cut := range []int{prefix + 1, prefix + walHeaderLen, len(log) - 1} {
 		st := walState()
-		stats, err := replayWAL(st, log[:cut], walOpts())
+		stats, err := replayWAL(st, log[:cut], walOpts(), true)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
@@ -137,7 +137,7 @@ func TestWALReplayTornTail(t *testing.T) {
 	bad := append([]byte(nil), log...)
 	bad[len(bad)-1] ^= 0xFF
 	st := walState()
-	stats, err := replayWAL(st, bad, walOpts())
+	stats, err := replayWAL(st, bad, walOpts(), true)
 	if err != nil || !stats.torn || st.Store.Len() != 1 {
 		t.Fatalf("corrupt tail: stats=%+v err=%v len=%d", stats, err, st.Store.Len())
 	}
@@ -151,22 +151,22 @@ func TestWALReplayStructuralViolations(t *testing.T) {
 	foreign := chainFor(t, identity.Deterministic(2, 1), 1, nil)[0]
 
 	wrongOwner := appendWALRecord(nil, walKindBlock, block.Encode(foreign))
-	if _, err := replayWAL(walState(), wrongOwner, walOpts()); !errors.Is(err, ErrWrongOwner) {
+	if _, err := replayWAL(walState(), wrongOwner, walOpts(), true); !errors.Is(err, ErrWrongOwner) {
 		t.Fatalf("wrong owner: %v", err)
 	}
 
 	gap := appendWALRecord(nil, walKindBlock, block.Encode(blocks[1]))
-	if _, err := replayWAL(walState(), gap, walOpts()); !errors.Is(err, ErrBadWALRecord) {
+	if _, err := replayWAL(walState(), gap, walOpts(), true); !errors.Is(err, ErrBadWALRecord) {
 		t.Fatalf("seq gap: %v", err)
 	}
 
 	unknown := appendWALRecord(nil, 99, nil)
-	if _, err := replayWAL(walState(), unknown, walOpts()); !errors.Is(err, ErrBadWALRecord) {
+	if _, err := replayWAL(walState(), unknown, walOpts(), true); !errors.Is(err, ErrBadWALRecord) {
 		t.Fatalf("unknown kind: %v", err)
 	}
 
 	shortDigest := appendWALRecord(nil, walKindDigest, []byte{1, 2, 3})
-	if _, err := replayWAL(walState(), shortDigest, walOpts()); !errors.Is(err, ErrBadWALRecord) {
+	if _, err := replayWAL(walState(), shortDigest, walOpts(), true); !errors.Is(err, ErrBadWALRecord) {
 		t.Fatalf("short digest: %v", err)
 	}
 }
@@ -187,7 +187,7 @@ func TestWALReplayIdempotent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	stats, err := replayWAL(st, log, walOpts())
+	stats, err := replayWAL(st, log, walOpts(), true)
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
@@ -209,7 +209,7 @@ func TestWALReplayVerifiesWithRing(t *testing.T) {
 	}
 	opts := walOpts()
 	opts.Ring = ring
-	if _, err := replayWAL(walState(), log, opts); err == nil {
+	if _, err := replayWAL(walState(), log, opts, true); err == nil {
 		t.Fatal("forged block accepted with Ring set")
 	}
 }
@@ -233,7 +233,7 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{walKindBlock, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st := NewNodeState(1, 0)
-		stats, err := replayWAL(st, data, RecoverOptions{Owner: 1, Params: p})
+		stats, err := replayWAL(st, data, RecoverOptions{Owner: 1, Params: p}, true)
 		if err != nil {
 			return
 		}
@@ -244,4 +244,57 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatalf("valid=%d > input %d", stats.valid, len(data))
 		}
 	})
+}
+
+// TestWALReplayStrict: a rotated generation was repaired and synced
+// before its rename, so strict replay (allowTorn=false) treats a torn
+// record as corruption instead of silently dropping the tail.
+func TestWALReplayStrict(t *testing.T) {
+	key := identity.Deterministic(1, 1)
+	blocks := chainFor(t, key, 2, nil)
+	var log []byte
+	log = appendWALRecord(log, walKindBlock, block.Encode(blocks[0]))
+	log = appendWALRecord(log, walKindBlock, block.Encode(blocks[1]))
+
+	torn := log[:len(log)-3]
+	if _, err := replayWAL(walState(), torn, walOpts(), false); !errors.Is(err, ErrBadWALRecord) {
+		t.Fatalf("strict replay of a torn log: %v", err)
+	}
+	// The intact log passes strict replay unchanged.
+	st := walState()
+	if stats, err := replayWAL(st, log, walOpts(), false); err != nil || stats.blocks != 2 {
+		t.Fatalf("strict replay of an intact log: stats=%+v err=%v", stats, err)
+	}
+}
+
+// TestWALReplayTrustHorizon: trust records carry their insertion
+// index; replay applies only those at or past the store's current
+// horizon, so records the snapshot already accounted for (including
+// ones whose headers were since evicted) cannot re-enter a capped
+// store. A record too short to carry the index is corruption.
+func TestWALReplayTrustHorizon(t *testing.T) {
+	nb := chainFor(t, identity.Deterministic(9, 1), 5, nil)
+	var log []byte
+	for i, b := range nb {
+		log = appendWALRecord(log, walKindTrust, appendWALTrust(nil, int64(i), &b.Header))
+	}
+
+	st := walState()
+	st.Trust.setInsertions(3)
+	if _, err := replayWAL(st, log, walOpts(), true); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	for i, b := range nb {
+		if got := st.Trust.Has(b.Header.Hash()); got != (i >= 3) {
+			t.Errorf("header %d stored = %v, horizon is 3", i, got)
+		}
+	}
+	if st.Trust.Insertions() != 5 {
+		t.Fatalf("inserted = %d, want 5", st.Trust.Insertions())
+	}
+
+	short := appendWALRecord(nil, walKindTrust, []byte{1, 2, 3})
+	if _, err := replayWAL(walState(), short, walOpts(), true); !errors.Is(err, ErrBadWALRecord) {
+		t.Fatalf("short trust record: %v", err)
+	}
 }

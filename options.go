@@ -82,8 +82,9 @@ type config struct {
 	chunk     int
 	faultPlan faults.Plan
 	retry     faults.RetryPolicy
-	dataDir   string
-	trustCap  int
+	dataDir      string
+	trustCap     int
+	compactEvery int
 }
 
 func defaultConfig() *config {
@@ -293,6 +294,21 @@ func WithDataDir(dir string) Option {
 	}
 }
 
+// WithCompactEvery sets the WAL compaction threshold in block records
+// (default 256): once a node's current WAL generation holds that many
+// blocks, the next seal folds it into a fresh snapshot, bounding both
+// wal.log growth and the recovery replay tail. Requires WithDataDir;
+// live driver only.
+func WithCompactEvery(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("twoldag: WithCompactEvery(%d): threshold must be positive", n)
+		}
+		c.compactEvery = n
+		return nil
+	}
+}
+
 // WithTrustCap bounds every node's trust store H_i to n headers,
 // evicting oldest-inserted first (ledger.TrustStore.SetCap) — the knob
 // that keeps long-lived deployments' memory bounded, on both drivers.
@@ -374,6 +390,9 @@ func (c *config) validate(g *topology.Graph) error {
 		if c.malicious > 0 {
 			return errors.New("twoldag: WithMalicious requires the simulator driver (use Silence on a live cluster)")
 		}
+		if c.compactEvery > 0 && c.dataDir == "" {
+			return errors.New("twoldag: WithCompactEvery requires WithDataDir")
+		}
 		if c.pipeline > 1 {
 			return errors.New("twoldag: WithPipelineDepth applies to the simulator driver only")
 		}
@@ -387,6 +406,9 @@ func (c *config) validate(g *topology.Graph) error {
 		}
 		if c.dataDir != "" {
 			return errors.New("twoldag: WithDataDir applies to the live driver only")
+		}
+		if c.compactEvery > 0 {
+			return errors.New("twoldag: WithCompactEvery applies to the live driver only")
 		}
 		if c.faultPlan.Active() {
 			return errors.New("twoldag: WithFaults applies to the live driver only")

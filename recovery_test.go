@@ -2,6 +2,8 @@ package twoldag
 
 import (
 	"context"
+	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -241,5 +243,75 @@ func TestRecoveryTrustCapSurvivesRestart(t *testing.T) {
 	}
 	if err := c.Restart(2); err == nil {
 		t.Fatal("Restart of a running node succeeded")
+	}
+}
+
+// TestRecoveryFacadeCompaction: the facade driver compacts each
+// node's WAL at the configured threshold, so wal.log (and the replay
+// tail a restart pays) stays bounded for the life of a run.
+func TestRecoveryFacadeCompaction(t *testing.T) {
+	dir := t.TempDir()
+	rt, err := New(
+		WithNodes(3), WithSeed(7), WithGamma(1), WithDifficulty(2),
+		WithDataDir(dir), WithCompactEvery(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	c := rt.(*Cluster)
+
+	ctx := context.Background()
+	for tag := byte(1); tag <= 3; tag++ {
+		rt.AdvanceSlot()
+		for _, id := range rt.Nodes() {
+			if _, err := rt.Submit(ctx, id, []byte{tag, byte(id)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Three blocks sealed per node with a threshold of two: each WAL
+	// rotated at least once, so pending sits below the threshold and a
+	// snapshot exists.
+	for _, id := range rt.Nodes() {
+		fb := c.backends[id]
+		if p := fb.PendingBlocks(); p >= 2 {
+			t.Errorf("node %v: %d pending WAL blocks, threshold 2 never compacted", id, p)
+		}
+		snap := filepath.Join(dir, fmt.Sprintf("node-%d", id), "snapshot.2ldg")
+		if _, err := os.Stat(snap); err != nil {
+			t.Errorf("node %v: no snapshot after compaction: %v", id, err)
+		}
+	}
+	// The compacted state restarts byte-identical.
+	before, err := c.StateDigest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Silence(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.StateDigest(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatal("ledger state drifted across a compacted restart")
+	}
+}
+
+// TestRecoveryCompactEveryValidation pins WithCompactEvery's contract.
+func TestRecoveryCompactEveryValidation(t *testing.T) {
+	if _, err := New(WithNodes(3), WithCompactEvery(0)); err == nil {
+		t.Fatal("WithCompactEvery(0) accepted")
+	}
+	if _, err := New(WithNodes(3), WithCompactEvery(4)); err == nil {
+		t.Fatal("WithCompactEvery accepted without WithDataDir")
+	}
+	if _, err := New(WithNodes(3), WithSimulator(), WithCompactEvery(4)); err == nil {
+		t.Fatal("WithCompactEvery accepted on the simulator driver")
 	}
 }
