@@ -118,6 +118,8 @@ type Cluster struct {
 	dataDir      string
 	trustCap     int
 	compactEvery int
+	sync         SyncPolicy
+	commitObs    ledger.CommitObserver // user observers that watch WAL commits
 	backends     map[NodeID]*ledger.FileBackend
 }
 
@@ -143,6 +145,8 @@ func newCluster(cfg *config, g *topology.Graph) (*Cluster, error) {
 		dataDir:      cfg.dataDir,
 		trustCap:     cfg.trustCap,
 		compactEvery: cfg.compactEvery,
+		sync:         cfg.syncPolicy,
+		commitObs:    commitObservers(cfg.observers),
 		backends:     make(map[NodeID]*ledger.FileBackend),
 	}
 	switch cfg.transport {
@@ -201,7 +205,11 @@ func (c *Cluster) startNode(kp identity.KeyPair) error {
 	var state *ledger.NodeState
 	var backend ledger.Backend
 	if c.dataDir != "" {
-		fb, err := ledger.OpenFileBackend(filepath.Join(c.dataDir, fmt.Sprintf("node-%d", kp.ID)))
+		bopts := []ledger.BackendOption{ledger.WithSyncPolicy(c.sync)}
+		if c.commitObs != nil {
+			bopts = append(bopts, ledger.WithCommitObserver(c.commitObs))
+		}
+		fb, err := ledger.OpenFileBackend(filepath.Join(c.dataDir, fmt.Sprintf("node-%d", kp.ID)), bopts...)
 		if err != nil {
 			return fmt.Errorf("twoldag: node %v: %w", kp.ID, err)
 		}
@@ -322,6 +330,46 @@ func (c *Cluster) awaitAckRetry(ctx context.Context, n *node.Node, d Digest, w *
 	})
 }
 
+// commitWindow closes a durable node's open WAL commit window before
+// its digests go on the wire. Only the batched policy commits at the
+// flush boundary: SyncAlways already committed per block at seal time
+// (an extra fsync here would tax the default path), and SyncInterval
+// is deliberately decoupled from flushes.
+func (c *Cluster) commitWindow(n *node.Node) error {
+	if !c.sync.Batched() {
+		return nil
+	}
+	return n.CommitJournal()
+}
+
+// commitObservers collects the user observers that also implement
+// ledger.CommitObserver (e.g. *metrics.EventCounters), so WAL commit
+// windows surface on the same scrape as the event counters.
+func commitObservers(obs []Observer) ledger.CommitObserver {
+	var cos multiCommitObserver
+	for _, o := range obs {
+		if co, ok := o.(ledger.CommitObserver); ok {
+			cos = append(cos, co)
+		}
+	}
+	switch len(cos) {
+	case 0:
+		return nil
+	case 1:
+		return cos[0]
+	default:
+		return cos
+	}
+}
+
+type multiCommitObserver []ledger.CommitObserver
+
+func (m multiCommitObserver) OnWALCommit(blocks int, bytes int64) {
+	for _, o := range m {
+		o.OnWALCommit(blocks, bytes)
+	}
+}
+
 // Submit implements Runtime: seal, announce, and wait for every live
 // neighbor's acknowledgement (event-driven — see cluster.AckTracker).
 func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, error) {
@@ -334,6 +382,9 @@ func (c *Cluster) Submit(ctx context.Context, id NodeID, data []byte) (Ref, erro
 		return Ref{}, err
 	}
 	c.maybeCompact(id)
+	if err := c.commitWindow(n); err != nil {
+		return b.Header.Ref(), err
+	}
 	w := c.tracker.Expect(d, c.liveNeighbors(id))
 	actx, cancel := c.ackCtx(ctx)
 	defer cancel()
@@ -392,6 +443,9 @@ func (c *Cluster) SubmitBatch(ctx context.Context, batch []Submission) ([]Ref, e
 	actx, cancel := c.ackCtx(ctx)
 	defer cancel()
 	for _, n := range senders {
+		if err := c.commitWindow(n); err != nil {
+			return fail(err)
+		}
 		n.AnnounceBatch(actx, bySender[n.ID()])
 	}
 	if c.retry.Enabled() {

@@ -12,6 +12,7 @@ import (
 	"github.com/twoldag/twoldag/internal/cluster"
 	"github.com/twoldag/twoldag/internal/faults"
 	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
 )
 
 // runHost is the shared serve/join entry point: both host exactly one
@@ -43,6 +44,7 @@ func runHost(args []string, join bool) int {
 	dataDir := fs.String("data", "", "ledger data directory (empty: in-memory only)")
 	trustCap := fs.Int("trust-cap", 0, "bound on retained trust headers H_i, oldest evicted first (0: unbounded)")
 	compactEvery := fs.Int("compact-every", 0, "WAL compaction threshold in block records (0: default 256)")
+	syncFlag := fs.String("sync", "always", "WAL sync policy: always (fsync per block), batch (one fsync per slot flush), or interval=<dur> (bounded staleness)")
 
 	var id *uint
 	var addr *string
@@ -80,6 +82,12 @@ func runHost(args []string, join bool) int {
 		TrustCap:       *trustCap,
 		CompactEvery:   *compactEvery,
 	}
+	if pol, err := ledger.ParseSyncPolicy(*syncFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "twoldag %s: %v\n", name, err)
+		return 2
+	} else {
+		cfg.Sync = pol
+	}
 	if !join {
 		cfg.ID = identity.NodeID(*id)
 	} else if *addr == "" {
@@ -111,8 +119,13 @@ func runHost(args []string, join bool) int {
 		return 1
 	}
 	if rep, ok := h.RecoveryReport(); ok {
-		fmt.Fprintf(os.Stderr, "twoldag %s: recovered %d snapshot + %d WAL blocks from %s\n",
-			name, rep.SnapshotBlocks, rep.WALBlocks, *dataDir)
+		rate := ""
+		if blocks := rep.SnapshotBlocks + rep.WALBlocks; blocks > 0 && rep.Duration > 0 {
+			rate = fmt.Sprintf(" in %s (%.0f blocks/s)",
+				rep.Duration.Round(time.Microsecond), float64(blocks)/rep.Duration.Seconds())
+		}
+		fmt.Fprintf(os.Stderr, "twoldag %s: recovered %d snapshot + %d WAL blocks from %s%s\n",
+			name, rep.SnapshotBlocks, rep.WALBlocks, *dataDir, rate)
 		if rep.TornTail {
 			fmt.Fprintf(os.Stderr, "twoldag %s: discarded a %d-byte torn WAL tail (unacknowledged final record)\n",
 				name, rep.TornBytes)

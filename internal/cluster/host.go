@@ -80,6 +80,12 @@ type Config struct {
 	// CompactEvery is the WAL compaction threshold in block records
 	// (default 256; only meaningful with DataDir).
 	CompactEvery int
+	// Sync is the WAL commit-window policy (only meaningful with
+	// DataDir). The zero value is ledger.SyncAlways — fsync per block.
+	// Under ledger.SyncBatch the host commits the window once per
+	// Flush, before any digest is announced; ledger.SyncInterval(d)
+	// bounds staleness to d.
+	Sync ledger.SyncPolicy
 }
 
 // DefaultCompactEvery is the WAL compaction threshold (in block
@@ -150,6 +156,12 @@ func Start(cfg Config) (*Host, error) {
 	}
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 2 * time.Second
+	}
+	if err := cfg.Sync.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.DataDir == "" && !cfg.Sync.PerBlock() {
+		return nil, fmt.Errorf("cluster: sync policy %v requires DataDir", cfg.Sync)
 	}
 
 	topo, err := topology.Deployment(cfg.Nodes, cfg.Seed)
@@ -290,7 +302,11 @@ func (h *Host) startNode() error {
 	var state *ledger.NodeState
 	var backend ledger.Backend
 	if h.cfg.DataDir != "" {
-		fb, err := ledger.OpenFileBackend(h.cfg.DataDir)
+		bopts := []ledger.BackendOption{ledger.WithSyncPolicy(h.cfg.Sync)}
+		if co, ok := h.cfg.Observer.(ledger.CommitObserver); ok {
+			bopts = append(bopts, ledger.WithCommitObserver(co))
+		}
+		fb, err := ledger.OpenFileBackend(h.cfg.DataDir, bopts...)
 		if err != nil {
 			tn.Close()
 			return err
@@ -701,6 +717,16 @@ func (h *Host) Flush(ctx context.Context, ds []digest.Digest) error {
 	defer h.wg.Done()
 	if len(ds) == 0 {
 		return nil
+	}
+	// Under a batched sync policy this is the commit point: the whole
+	// slot's block records become durable in one fsync before any
+	// neighbor learns their digests — write-ahead at window
+	// granularity. (SyncAlways committed per block at seal time;
+	// SyncInterval is deliberately decoupled from flushes.)
+	if h.cfg.Sync.Batched() {
+		if err := h.node.CommitJournal(); err != nil {
+			return err
+		}
 	}
 	nbs := h.liveNeighbors()
 	waiters := make([]*Waiter, len(ds))

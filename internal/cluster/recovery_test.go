@@ -154,6 +154,92 @@ func TestRecoveryKillRestartEquivalence(t *testing.T) {
 	}
 }
 
+// TestRecoverySyncPolicies proves kill/restart equivalence under every
+// commit-window discipline at the host level: a durable single-node
+// host seals and flushes across three slots, dies without Leave or any
+// graceful host shutdown, and restarts from its data dir. The state
+// digest must survive the kill unchanged and — because sealing is
+// deterministic — be identical across all three policies: the flush
+// boundary is SyncBatch's commit point, the ticker SyncInterval's, and
+// the backend close commits whatever is still staged.
+func TestRecoverySyncPolicies(t *testing.T) {
+	digests := make(map[string]digest.Digest)
+	for _, tc := range []struct {
+		name   string
+		policy ledger.SyncPolicy
+	}{
+		{"always", ledger.SyncAlways()},
+		{"batch", ledger.SyncBatch()},
+		{"interval", ledger.SyncInterval(5 * time.Millisecond)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := Config{
+				ID: 0, Nodes: 1, Seed: 7, Gamma: 0, Difficulty: 2,
+				RequestTimeout: time.Second,
+				DataDir:        dir,
+				Sync:           tc.policy,
+			}
+			h, err := Start(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for slot := uint32(1); slot <= 3; slot++ {
+				h.SetSlot(slot)
+				_, d, err := h.Seal([]byte{byte(slot)})
+				if err != nil {
+					t.Fatalf("seal slot %d: %v", slot, err)
+				}
+				if err := h.Flush(context.Background(), []digest.Digest{d}); err != nil {
+					t.Fatalf("flush slot %d: %v", slot, err)
+				}
+			}
+			before, err := h.StateDigest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Kill: close the node directly — no Leave, no host drain.
+			_ = h.node.Close()
+
+			h2, err := Start(cfg)
+			if err != nil {
+				t.Fatalf("restart: %v", err)
+			}
+			t.Cleanup(func() { _ = h2.Close() })
+			after, err := h2.StateDigest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if after != before {
+				t.Fatalf("state digest changed across kill + restart under %s", tc.name)
+			}
+			digests[tc.name] = after
+		})
+	}
+	if digests["batch"] != digests["always"] || digests["interval"] != digests["always"] {
+		t.Fatalf("state digests diverged across sync policies: %v", digests)
+	}
+}
+
+// TestRecoverySyncPolicyValidation pins the host-level config contract:
+// a malformed interval fails Start, and a batched or interval policy
+// without a data dir is meaningless (there is no WAL to commit).
+func TestRecoverySyncPolicyValidation(t *testing.T) {
+	base := Config{ID: 0, Nodes: 1, Seed: 7, Gamma: 0, Difficulty: 2, RequestTimeout: time.Second}
+
+	bad := base
+	bad.DataDir = t.TempDir()
+	bad.Sync = ledger.SyncInterval(-time.Second)
+	if _, err := Start(bad); err == nil {
+		t.Fatal("negative sync interval accepted")
+	}
+	memOnly := base
+	memOnly.Sync = ledger.SyncBatch()
+	if _, err := Start(memOnly); err == nil {
+		t.Fatal("batched sync policy accepted without a data dir")
+	}
+}
+
 // TestRecoveryCloseMidAppend races Close against a stream of Seals on
 // a durable host (mirroring TestHostCloseMidRetry for the backend
 // path) and then proves the durability contract: every Seal that

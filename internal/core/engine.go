@@ -26,10 +26,11 @@ type Engine struct {
 	params block.Params
 	topo   *topology.Graph
 
-	store  *ledger.Store
-	cache  *ledger.DigestCache
-	trust  *ledger.TrustStore
-	vcache *block.VerifyCache
+	store   *ledger.Store
+	cache   *ledger.DigestCache
+	trust   *ledger.TrustStore
+	vcache  *block.VerifyCache
+	backend ledger.Backend // nil when the node is in-memory only
 
 	// Generate scratch: neighbor list and Δ refs are assembled here
 	// instead of fresh slices per block. Generate is not safe for
@@ -111,14 +112,28 @@ func NewEngineWith(key identity.KeyPair, params block.Params, topo *topology.Gra
 		cache.SetJournal(opts.Backend)
 	}
 	return &Engine{
-		key:    key,
-		params: params,
-		topo:   topo,
-		store:  store,
-		cache:  cache,
-		trust:  trust,
-		vcache: vcache,
+		key:     key,
+		params:  params,
+		topo:    topo,
+		store:   store,
+		cache:   cache,
+		trust:   trust,
+		vcache:  vcache,
+		backend: opts.Backend,
 	}, nil
+}
+
+// CommitJournal closes the backend's open WAL commit window, fsyncing
+// every block record staged since the last commit. Drivers running a
+// batched sync policy call it at their flush boundary — after sealing
+// a slot's blocks, before announcing any of them — so durability is
+// acknowledged once per slot instead of once per block. A no-op for
+// in-memory engines.
+func (e *Engine) CommitJournal() error {
+	if e.backend == nil {
+		return nil
+	}
+	return e.backend.Commit()
 }
 
 // ID returns the node's identity.

@@ -115,6 +115,13 @@ type RecoverOptions struct {
 	// redeployment with a new -trust-cap wins); 0 adopts the recorded
 	// cap so the bound survives restarts unconfigured.
 	TrustCap int
+	// Workers bounds the verification parallelism of replay: the
+	// re-seal (and, with a Ring, signature/PoW) checks of snapshot and
+	// WAL blocks fan out on a pool this wide while decoding and all
+	// structural checks stay sequential. 0 uses GOMAXPROCS; 1 runs
+	// fully serial. The recovered state, RecoveryReport, and every
+	// error are identical at any width.
+	Workers int
 }
 
 // Backend is the pluggable durability layer under a node's ledger: a
@@ -141,6 +148,12 @@ type Backend interface {
 	// PendingBlocks reports how many block records the current WAL
 	// generation holds — the compaction trigger.
 	PendingBlocks() int
+
+	// Commit closes the current commit window, fsyncing every staged
+	// block record: the acknowledgement point drivers invoke at their
+	// flush boundary under a batched SyncPolicy. A no-op when nothing
+	// is staged.
+	Commit() error
 
 	// Sync flushes and fsyncs everything logged so far, and surfaces
 	// any deferred journal error (trust/digest records are buffered;

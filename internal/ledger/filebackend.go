@@ -8,10 +8,12 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/par"
 )
 
 // FileBackend data-dir layout (one directory per node):
@@ -27,11 +29,14 @@ import (
 //	snapshot.tmp  — snapshot being written; garbage after a crash,
 //	                deleted on recovery.
 //
-// Fsync discipline: block records fsync before Store.Append publishes
-// the block (write-ahead — an accepted block survives a crash); trust
-// and digest records are written immediately but fsynced lazily, piggy-
-// backing on the next block fsync, Sync, or Close. Losing the tail of
-// trust/digest records in a crash costs re-auditing, never data.
+// Fsync discipline: block records are acknowledged by the fsync of
+// the commit window they were staged into (see walwriter.go) — under
+// the default SyncAlways policy that fsync happens before Store.Append
+// publishes the block (write-ahead — an accepted block survives a
+// crash); trust and digest records are written immediately but fsynced
+// lazily, piggybacking on the next commit window, Sync, or Close.
+// Losing the tail of trust/digest records in a crash costs
+// re-auditing, never data.
 //
 // Torn writes: a crash mid-record leaves wal.log with an incomplete or
 // CRC-failing tail. Recovery replays the intact prefix, discards the
@@ -52,7 +57,9 @@ const (
 // plus snapshot-v2 compaction in a single data directory. Safe for
 // concurrent journal use; Compact may run concurrently with logging.
 type FileBackend struct {
-	dir string
+	dir    string
+	policy SyncPolicy
+	obs    CommitObserver
 
 	mu         sync.Mutex
 	f          *os.File // wal.log, append-only
@@ -73,6 +80,20 @@ type FileBackend struct {
 	// stranded behind one would be acknowledged-then-lost.
 	goodOff int64
 	dirty   bool
+
+	// Commit-window state (see walwriter.go): syncedOff is the prefix
+	// the last successful fsync acknowledged; (syncedOff, goodOff] is
+	// the open window. windowBlocks counts block records staged in it,
+	// waiters the SyncAlways callers blocked on its fsync.
+	syncedOff    int64
+	windowBlocks int
+	waiters      []chan error
+	fsyncs       int64 // commit windows closed since open
+	committed    int64 // WAL bytes acknowledged durable since open
+
+	kick chan struct{} // wakes the committer (capacity 1, coalescing)
+	stop chan struct{} // closed by Close to retire the committer
+	done chan struct{} // closed by the committer on exit
 }
 
 // RecoveryReport summarizes what the last Recover read from disk, so
@@ -92,11 +113,14 @@ type RecoveryReport struct {
 	// ever hold unacknowledged data.
 	TornTail  bool
 	TornBytes int
+	// Duration is the wall time spent reading the snapshot and
+	// replaying both WAL generations (normalization excluded).
+	Duration time.Duration
 }
 
 // OpenFileBackend opens (creating if needed) the data directory and
 // its WAL. Call Recover next; journal calls before Recover fail.
-func OpenFileBackend(dir string) (*FileBackend, error) {
+func OpenFileBackend(dir string, opts ...BackendOption) (*FileBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ledger: creating data dir: %w", err)
 	}
@@ -109,7 +133,22 @@ func OpenFileBackend(dir string) (*FileBackend, error) {
 		f.Close()
 		return nil, fmt.Errorf("ledger: statting WAL: %w", err)
 	}
-	return &FileBackend{dir: dir, f: f, goodOff: info.Size()}, nil
+	fb := &FileBackend{
+		dir: dir, f: f,
+		goodOff: info.Size(), syncedOff: info.Size(),
+		kick: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(fb)
+	}
+	if err := fb.policy.Validate(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	go fb.committer()
+	return fb, nil
 }
 
 // Dir returns the backend's data directory.
@@ -131,15 +170,25 @@ func (fb *FileBackend) Recover(opts RecoverOptions) (*NodeState, error) {
 	// An interrupted compaction never committed its snapshot.
 	_ = os.Remove(filepath.Join(fb.dir, snapshotTmpName))
 
+	// One verification pool serves the snapshot and both WAL
+	// generations; decode and structural checks stay sequential, only
+	// the per-block re-seal + signature verification fans out (see
+	// recoverVerifier), so reports and errors match the serial path
+	// byte for byte.
+	start := time.Now()
+	pool := par.NewPool(opts.Workers)
+	defer pool.Close()
+
 	st := NewNodeState(opts.Owner, opts.TrustCap)
-	snap, err := os.ReadFile(filepath.Join(fb.dir, snapshotFileName))
+	sf, err := os.Open(filepath.Join(fb.dir, snapshotFileName))
 	switch {
 	case errors.Is(err, fs.ErrNotExist):
 		// Fresh data dir.
 	case err != nil:
 		return nil, fmt.Errorf("ledger: reading snapshot: %w", err)
 	default:
-		st, err = ReadSnapshotState(snap, opts)
+		st, err = readSnapshotStream(sf, opts, pool)
+		sf.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +211,7 @@ func (fb *FileBackend) Recover(opts RecoverOptions) (*NodeState, error) {
 		if err != nil {
 			return nil, fmt.Errorf("ledger: reading %s: %w", gen.name, err)
 		}
-		stats, err := replayWAL(st, buf, opts, gen.allowTorn)
+		stats, err := replayWAL(st, buf, opts, gen.allowTorn, pool)
 		if err != nil {
 			return nil, fmt.Errorf("ledger: replaying %s: %w", gen.name, err)
 		}
@@ -173,6 +222,7 @@ func (fb *FileBackend) Recover(opts RecoverOptions) (*NodeState, error) {
 			report.TornBytes = len(buf) - stats.valid
 		}
 	}
+	report.Duration = time.Since(start)
 	fb.report = report
 	fb.recovered = true
 	// Normalize on disk: recovered state → fresh snapshot, empty WAL,
@@ -227,6 +277,8 @@ func (fb *FileBackend) resetWALLocked() error {
 	}
 	fb.pending = 0
 	fb.goodOff = 0
+	fb.syncedOff = 0
+	fb.windowBlocks = 0
 	fb.dirty = false
 	return nil
 }
@@ -277,26 +329,35 @@ func (fb *FileBackend) logLocked(kind byte, payload []byte) error {
 	return nil
 }
 
-// LogBlock writes a block record and fsyncs — write-ahead, so the
-// block is durable before Store.Append publishes it. An error here
+// LogBlock stages a block record into the current commit window.
+// Under SyncAlways (the default) it blocks until the window's fsync
+// returns — write-ahead, the block is durable before Store.Append
+// publishes it — while concurrent callers share that fsync. Under
+// SyncBatch/SyncInterval it returns once staged; Commit or the
+// committer's ticker acknowledges the window later. An error here
 // fails the append.
 func (fb *FileBackend) LogBlock(b *block.Block) error {
 	fb.mu.Lock()
-	defer fb.mu.Unlock()
 	if err := fb.logLocked(walKindBlock, block.Encode(b)); err != nil {
+		fb.mu.Unlock()
 		return err
 	}
-	if err := fb.f.Sync(); err != nil {
-		// The record's durability is unknown and the append will fail:
-		// poison it so the next write truncates it away — if it did
-		// reach disk, replay would otherwise restore a block the store
-		// never accepted, shadowing the real holder of its sequence.
-		fb.goodOff -= int64(len(fb.scratch))
-		fb.dirty = true
-		return fmt.Errorf("ledger: syncing WAL: %w", err)
-	}
 	fb.pending++
-	return nil
+	fb.windowBlocks++
+	if !fb.policy.PerBlock() {
+		fb.mu.Unlock()
+		return nil
+	}
+	// The committer fsyncs under fb.mu, so callers that stage while a
+	// flush is in flight join the next window — group commit without
+	// ever acknowledging before durability.
+	w := waiterPool.Get().(chan error)
+	fb.waiters = append(fb.waiters, w)
+	fb.mu.Unlock()
+	fb.kickCommitter()
+	err := <-w
+	waiterPool.Put(w)
+	return err
 }
 
 // LogTrust writes a trust-store record (no fsync; see the package
@@ -412,10 +473,10 @@ func (fb *FileBackend) Compact(gather func() (*NodeState, error)) error {
 // recovery to treat a torn wal.old as corruption rather than a crash
 // artifact. Caller holds fb.mu with compacting set.
 func (fb *FileBackend) rotateLocked() error {
-	if err := fb.repairLocked(); err != nil {
-		return fmt.Errorf("ledger: rotating WAL: %w", err)
-	}
-	if err := fb.f.Sync(); err != nil {
+	// Closing the commit window first acknowledges (or fails) every
+	// staged record and blocked caller before the generation is sealed
+	// as wal.old.
+	if err := fb.commitLocked(); err != nil {
 		return fmt.Errorf("ledger: syncing WAL for rotation: %w", err)
 	}
 	if err := fb.f.Close(); err != nil {
@@ -432,44 +493,40 @@ func (fb *FileBackend) rotateLocked() error {
 	fb.f = f
 	fb.pending = 0
 	fb.goodOff = 0
+	fb.syncedOff = 0
+	fb.windowBlocks = 0
 	fb.dirty = false
 	fb.syncDir()
 	return nil
 }
 
-// Sync fsyncs the WAL and surfaces any sticky trust/digest journal
-// error (clearing it).
+// Sync closes the current commit window (fsyncing anything staged)
+// and surfaces any sticky trust/digest journal error (clearing it).
 func (fb *FileBackend) Sync() error {
 	fb.mu.Lock()
 	defer fb.mu.Unlock()
 	if fb.closed {
 		return ErrBackendClosed
 	}
-	rerr := fb.repairLocked()
-	if err := fb.f.Sync(); err != nil {
-		return fmt.Errorf("ledger: syncing WAL: %w", err)
-	}
+	cerr := fb.commitLocked()
 	err := fb.deferred
 	fb.deferred = nil
 	if err == nil {
-		err = rerr
+		err = cerr
 	}
 	return err
 }
 
-// Close fsyncs and closes the WAL. Further calls return
-// ErrBackendClosed.
+// Close commits any open window, closes the WAL, and retires the
+// committer goroutine. Further calls return ErrBackendClosed.
 func (fb *FileBackend) Close() error {
 	fb.mu.Lock()
-	defer fb.mu.Unlock()
 	if fb.closed {
+		fb.mu.Unlock()
 		return ErrBackendClosed
 	}
-	err := fb.repairLocked()
+	err := fb.commitLocked()
 	fb.closed = true
-	if serr := fb.f.Sync(); err == nil {
-		err = serr
-	}
 	if cerr := fb.f.Close(); err == nil {
 		err = cerr
 	}
@@ -477,6 +534,11 @@ func (fb *FileBackend) Close() error {
 		err = fb.deferred
 	}
 	fb.deferred = nil
+	fb.mu.Unlock()
+	// The committer may be blocked acquiring fb.mu, so stop it only
+	// after releasing; closed is set, so a late wakeup is a no-op.
+	close(fb.stop)
+	<-fb.done
 	if err != nil {
 		return fmt.Errorf("ledger: closing backend: %w", err)
 	}

@@ -335,7 +335,7 @@ func TestFileBackendPartialWriteRepair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := replayWAL(NewNodeState(4, 0), buf, opts, true)
+	stats, err := replayWAL(NewNodeState(4, 0), buf, opts, true, nil)
 	if err != nil {
 		t.Fatalf("replaying repaired WAL: %v", err)
 	}
@@ -380,7 +380,7 @@ func TestFileBackendPartialWriteRepairOnRotate(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("Compact: %v", err)
 	}
-	if stats, err := replayWAL(NewNodeState(4, 0), rotated, opts, false); err != nil {
+	if stats, err := replayWAL(NewNodeState(4, 0), rotated, opts, false, nil); err != nil {
 		t.Fatalf("rotated generation fails strict replay: %v", err)
 	} else if stats.blocks != 2 {
 		t.Fatalf("rotated generation holds %d blocks, want 2", stats.blocks)
@@ -450,6 +450,10 @@ func TestFileBackendRecoveryReport(t *testing.T) {
 		TornTail:       true,
 		TornBytes:      len(torn) - intact,
 	}
+	if rep.Duration <= 0 {
+		t.Fatalf("report duration %v, want > 0", rep.Duration)
+	}
+	rep.Duration = 0 // wall time; everything else must match exactly
 	if rep != want {
 		t.Fatalf("report = %+v, want %+v", rep, want)
 	}

@@ -1,6 +1,9 @@
 package ledger
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"github.com/twoldag/twoldag/internal/block"
@@ -71,6 +74,168 @@ func BenchmarkHotpathWALAppend(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkHotpathWALGroupCommit prices the durable seal path under
+// the batched sync policy: LogBlock stages records without blocking
+// and one Commit fsync acknowledges the whole window, so the
+// per-block cost is the codec plus 1/batch of an fsync. batch=1 is
+// the group-commit writer doing SyncAlways-shaped work (one window
+// per block, the ~185 µs fsync baseline of
+// BenchmarkHotpathWALAppend/fsync); batch=64 must amortize the fsync
+// to noise — the durable path converging on the memory path.
+func BenchmarkHotpathWALGroupCommit(b *testing.B) {
+	key := identity.Deterministic(1, 1)
+	p := block.DefaultParams()
+	p.Difficulty = pow.Difficulty(0)
+	blk, err := p.Build(key, 0, 0, make([]byte, 256), []block.DigestRef{{Node: 1}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, batch := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			fb, err := OpenFileBackend(b.TempDir(), WithSyncPolicy(SyncBatch()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fb.Recover(RecoverOptions{Owner: 1, Params: p}); err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { _ = fb.Close() })
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := fb.LogBlock(blk); err != nil {
+					b.Fatal(err)
+				}
+				if (i+1)%batch == 0 {
+					if err := fb.Commit(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// copyLedgerDir clones a fixture data dir file by file, so each
+// recovery iteration gets a pristine copy (Recover normalizes the dir
+// it runs on: a WAL-heavy fixture would become snapshot-heavy after
+// the first iteration).
+func copyLedgerDir(b testing.TB, src, dst string) {
+	b.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoverCold measures the cold start: open a data dir and
+// rebuild the node state, with full cryptographic re-verification
+// (Ring set: PoW + ed25519 per block). The snapshot fixture holds all
+// blocks in snapshot v2; the wal fixture holds the same blocks as raw
+// WAL records. serial pins Workers=1, parallel uses GOMAXPROCS — on
+// this 1-CPU container the two match by construction (the win is
+// multi-core-free: identical state, report and errors at any width),
+// so the parallel rows exist to price the fan-out overhead and to
+// show the speedup on real hardware.
+func BenchmarkRecoverCold(b *testing.B) {
+	const n = 512
+	key := identity.Deterministic(1, 4)
+	ring := identity.NewRing()
+	if err := ring.Register(key.ID, key.Public); err != nil {
+		b.Fatal(err)
+	}
+	opts := RecoverOptions{Owner: 1, Params: testParams(), Ring: ring}
+
+	// Build the WAL-heavy fixture: every block staged through the
+	// journal, one commit window, no compaction.
+	walDir := b.TempDir()
+	fb, err := OpenFileBackend(walDir, WithSyncPolicy(SyncBatch()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := fb.Recover(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.Attach(fb)
+	for _, blk := range chainFor(b, key, n, nil) {
+		if err := st.Store.Append(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := fb.Close(); err != nil {
+		b.Fatal(err)
+	}
+	// The snapshot-heavy fixture is the same dir after one recovery
+	// normalized it (fresh snapshot, empty WAL).
+	snapDir := b.TempDir()
+	copyLedgerDir(b, walDir, snapDir)
+	fb2, err := OpenFileBackend(snapDir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fb2.Recover(opts); err != nil {
+		b.Fatal(err)
+	}
+	if err := fb2.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	for _, fix := range []struct{ name, dir string }{
+		{"snapshot", snapDir},
+		{"wal", walDir},
+	} {
+		for _, par := range []struct {
+			name    string
+			workers int
+		}{
+			{"serial", 1},
+			{"parallel", 0},
+		} {
+			b.Run(fix.name+"/"+par.name, func(b *testing.B) {
+				o := opts
+				o.Workers = par.workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					dir := b.TempDir()
+					copyLedgerDir(b, fix.dir, dir)
+					b.StartTimer()
+					rfb, err := OpenFileBackend(dir)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rst, err := rfb.Recover(o)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rst.Store.Len() != n {
+						b.Fatalf("recovered %d blocks, want %d", rst.Store.Len(), n)
+					}
+					b.StopTimer()
+					if err := rfb.Close(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+				}
+			})
+		}
+	}
 }
 
 func BenchmarkHotpathStoreOldestContaining(b *testing.B) {

@@ -17,7 +17,7 @@ func testParams() block.Params {
 
 // chainFor builds a small log of n blocks for node id, where every block
 // after genesis references the previous one plus extra neighbor refs.
-func chainFor(t *testing.T, key identity.KeyPair, n int, extra []block.DigestRef) []*block.Block {
+func chainFor(t testing.TB, key identity.KeyPair, n int, extra []block.DigestRef) []*block.Block {
 	t.Helper()
 	p := testParams()
 	var out []*block.Block

@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
 
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/par"
 )
 
 // Snapshot persistence: IoT devices reboot, and a 2LDAG node that loses
@@ -223,6 +225,15 @@ func (s *Store) writeSnapshotBlocks(w io.Writer) error {
 	return nil
 }
 
+// snapSource is a cursor over a snapshot stream body: in-memory
+// (snapReader) or file-backed (snapStream). take's result is only
+// valid until the next take — decoders copy what they keep
+// (block.Decode and block.DecodeHeader copy body and signature).
+type snapSource interface {
+	take(n int) ([]byte, error)
+	leftover() int
+}
+
 // snapReader is a cursor over an in-memory snapshot stream.
 type snapReader struct {
 	buf []byte
@@ -238,7 +249,40 @@ func (r *snapReader) take(n int) ([]byte, error) {
 	return p, nil
 }
 
-func (r *snapReader) u32() (uint32, error) {
+func (r *snapReader) leftover() int { return len(r.buf) - r.off }
+
+// snapStream is a cursor over a file-backed snapshot stream: reads go
+// through a bufio.Reader into one reusable, growable scratch buffer,
+// so a cold start never materializes the whole snapshot in memory.
+// rem bounds the body (it excludes any trailing CRC), so an oversized
+// length field cannot read past the validated region.
+type snapStream struct {
+	r   *bufio.Reader
+	rem int
+	buf []byte
+}
+
+func (s *snapStream) take(n int) ([]byte, error) {
+	if n < 0 || n > s.rem {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n+n/4)
+	}
+	p := s.buf[:n]
+	if _, err := io.ReadFull(s.r, p); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	s.rem -= n
+	return p, nil
+}
+
+func (s *snapStream) leftover() int { return s.rem }
+
+func snapU32(r snapSource) (uint32, error) {
 	p, err := r.take(4)
 	if err != nil {
 		return 0, err
@@ -246,7 +290,7 @@ func (r *snapReader) u32() (uint32, error) {
 	return binary.LittleEndian.Uint32(p), nil
 }
 
-func (r *snapReader) u64() (uint64, error) {
+func snapU64(r snapSource) (uint64, error) {
 	p, err := r.take(8)
 	if err != nil {
 		return 0, err
@@ -254,8 +298,8 @@ func (r *snapReader) u64() (uint64, error) {
 	return binary.LittleEndian.Uint64(p), nil
 }
 
-func (r *snapReader) framed(limit uint32) ([]byte, error) {
-	n, err := r.u32()
+func snapFramed(r snapSource, limit uint32) ([]byte, error) {
+	n, err := snapU32(r)
 	if err != nil {
 		return nil, err
 	}
@@ -265,15 +309,18 @@ func (r *snapReader) framed(limit uint32) ([]byte, error) {
 	return r.take(int(n))
 }
 
-// ReadSnapshotState reconstructs a whole-node state from a snapshot
-// stream, accepting both v1 (store-only) and v2. Blocks are re-sealed
-// through opts.Params.SealBlock and — when opts.Ring is set —
-// re-verified with opts.Params.Validate; trust headers are re-sealed.
-// The stream must belong to opts.Owner (ErrWrongOwner otherwise). The
-// trust cap in force is opts.TrustCap when positive, else the v2
-// stream's recorded cap; it is applied before H_i is restored so FIFO
-// bounds hold immediately.
+// ReadSnapshotState reconstructs a whole-node state from an in-memory
+// snapshot stream, accepting both v1 (store-only) and v2. Blocks are
+// re-sealed through opts.Params.SealBlock and — when opts.Ring is set
+// — re-verified with opts.Params.Validate; trust headers are
+// re-sealed. The stream must belong to opts.Owner (ErrWrongOwner
+// otherwise). The trust cap in force is opts.TrustCap when positive,
+// else the v2 stream's recorded cap; it is applied before H_i is
+// restored so FIFO bounds hold immediately. Verification parallelism
+// follows opts.Workers.
 func ReadSnapshotState(data []byte, opts RecoverOptions) (*NodeState, error) {
+	pool := par.NewPool(opts.Workers)
+	defer pool.Close()
 	r := &snapReader{buf: data}
 	magic, err := r.take(8)
 	if err != nil {
@@ -299,7 +346,103 @@ func ReadSnapshotState(data []byte, opts RecoverOptions) (*NodeState, error) {
 		}
 		r.buf = body
 	}
-	ownerWord, err := r.u32()
+	return readSnapshotBody(r, v2, opts, pool)
+}
+
+// readSnapshotStream is the file-backed counterpart Recover uses: one
+// fixed-buffer pass checksums a v2 stream, then the body is decoded
+// through snapStream's reusable scratch — the snapshot is never
+// materialized whole. f must be positioned at the start.
+func readSnapshotStream(f *os.File, opts RecoverOptions, pool *par.Pool) (*NodeState, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSnapshot, err)
+	}
+	var v2 bool
+	switch magic {
+	case snapshotMagicV2:
+		v2 = true
+	case snapshotMagic:
+	default:
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("ledger: statting snapshot: %w", err)
+	}
+	size := info.Size()
+	body := size - 8
+	if v2 {
+		// The trailing CRC seals everything before it; check it before
+		// trusting any length field.
+		if size < 12 {
+			return nil, fmt.Errorf("%w: truncated", ErrBadSnapshot)
+		}
+		body = size - 12
+		crc := crc32.Checksum(magic[:], walTable)
+		buf := make([]byte, 64<<10)
+		for remain := body; remain > 0; {
+			n := int64(len(buf))
+			if remain < n {
+				n = remain
+			}
+			if _, err := io.ReadFull(f, buf[:n]); err != nil {
+				return nil, fmt.Errorf("ledger: reading snapshot: %w", err)
+			}
+			crc = crc32.Update(crc, walTable, buf[:n])
+			remain -= n
+		}
+		var tail [4]byte
+		if _, err := io.ReadFull(f, tail[:]); err != nil {
+			return nil, fmt.Errorf("ledger: reading snapshot: %w", err)
+		}
+		if crc != binary.LittleEndian.Uint32(tail[:]) {
+			return nil, fmt.Errorf("%w: CRC mismatch", ErrBadSnapshot)
+		}
+		if _, err := f.Seek(8, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("ledger: seeking snapshot: %w", err)
+		}
+	}
+	src := &snapStream{r: bufio.NewReaderSize(f, 64<<10), rem: int(body)}
+	return readSnapshotBody(src, v2, opts, pool)
+}
+
+// readSnapshotBody reads everything after the magic. The sequential
+// scan does all decoding and structural checking and queues each
+// block's re-seal/re-verify on the pool (recoverVerifier); blocks then
+// retire into the store in order, so state, errors, and error order
+// are byte-identical to the serial path regardless of pool width.
+func readSnapshotBody(r snapSource, v2 bool, opts RecoverOptions, pool *par.Pool) (*NodeState, error) {
+	verify := recoverVerifier{opts: opts, pool: pool}
+	st, scanErr := scanSnapshotBody(r, v2, opts, &verify)
+	// Every queued block precedes the scan's stopping point, so the
+	// first verification failure outranks scanErr — exactly the error
+	// the serial loop would have hit first.
+	if err := verify.run(func(i int, err error) error {
+		return fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+	}); err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	for i, b := range verify.blocks {
+		if err := st.Store.Append(b); err != nil {
+			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, verify.labels[i], err)
+		}
+	}
+	return st, nil
+}
+
+// scanSnapshotBody is readSnapshotBody's sequential pass: meta, block
+// section (decode + structure, verification queued), and for v2 the
+// trust and cache sections. On error the returned state is partial and
+// the caller discards it.
+func scanSnapshotBody(r snapSource, v2 bool, opts RecoverOptions, verify *recoverVerifier) (*NodeState, error) {
+	ownerWord, err := snapU32(r)
 	if err != nil {
 		return nil, fmt.Errorf("%w: meta: %v", ErrBadSnapshot, err)
 	}
@@ -309,7 +452,7 @@ func ReadSnapshotState(data []byte, opts RecoverOptions) (*NodeState, error) {
 	}
 	trustCap := opts.TrustCap
 	if v2 {
-		recorded, err := r.u32()
+		recorded, err := snapU32(r)
 		if err != nil {
 			return nil, fmt.Errorf("%w: meta: %v", ErrBadSnapshot, err)
 		}
@@ -319,56 +462,55 @@ func ReadSnapshotState(data []byte, opts RecoverOptions) (*NodeState, error) {
 	}
 	st := NewNodeState(owner, trustCap)
 
-	blockCount, err := r.u32()
+	blockCount, err := snapU32(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: block count: %v", ErrBadSnapshot, err)
+		return st, fmt.Errorf("%w: block count: %v", ErrBadSnapshot, err)
 	}
 	for i := uint32(0); i < blockCount; i++ {
-		enc, err := r.framed(maxSnapshotBlock)
+		enc, err := snapFramed(r, maxSnapshotBlock)
 		if err != nil {
-			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+			return st, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
 		}
 		b, err := block.Decode(enc)
 		if err != nil {
-			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+			return st, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
 		}
 		if b.Header.Origin != owner {
-			return nil, fmt.Errorf("%w: block %d origin %v", ErrWrongOwner, i, b.Header.Origin)
+			return st, fmt.Errorf("%w: block %d origin %v", ErrWrongOwner, i, b.Header.Origin)
 		}
-		if err := opts.Params.SealBlock(b); err != nil {
-			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
-		}
-		if opts.Ring != nil {
-			if err := opts.Params.Validate(b, opts.Ring); err != nil {
-				return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
-			}
-		}
-		if err := st.Store.Append(b); err != nil {
-			return nil, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i, err)
+		// Queue before the sequence check: a block that fails both has
+		// its verification failure reported, like the serial loop, which
+		// seals and validates before Store.Append can reject the seq.
+		verify.add(b, int(i))
+		if int64(b.Header.Seq) != int64(i) {
+			// Mirrors Store.Append's rejection so the scan can stop
+			// without appending anything yet.
+			return st, fmt.Errorf("%w: block %d: %v", ErrBadSnapshot, i,
+				fmt.Errorf("%w: seq %d, want %d", ErrBadSeq, b.Header.Seq, i))
 		}
 	}
 	if !v2 {
 		return st, nil
 	}
-	trustInserted, err := r.u64()
+	trustInserted, err := snapU64(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: trust insertion count: %v", ErrBadSnapshot, err)
+		return st, fmt.Errorf("%w: trust insertion count: %v", ErrBadSnapshot, err)
 	}
-	headerCount, err := r.u32()
+	headerCount, err := snapU32(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: header count: %v", ErrBadSnapshot, err)
+		return st, fmt.Errorf("%w: header count: %v", ErrBadSnapshot, err)
 	}
 	if trustInserted > uint64(1)<<62 || trustInserted < uint64(headerCount) {
-		return nil, fmt.Errorf("%w: trust insertion count %d with %d headers", ErrBadSnapshot, trustInserted, headerCount)
+		return st, fmt.Errorf("%w: trust insertion count %d with %d headers", ErrBadSnapshot, trustInserted, headerCount)
 	}
 	for i := uint32(0); i < headerCount; i++ {
-		enc, err := r.framed(maxSnapshotBlock)
+		enc, err := snapFramed(r, maxSnapshotBlock)
 		if err != nil {
-			return nil, fmt.Errorf("%w: trust header %d: %v", ErrBadSnapshot, i, err)
+			return st, fmt.Errorf("%w: trust header %d: %v", ErrBadSnapshot, i, err)
 		}
 		h, err := block.DecodeHeader(enc)
 		if err != nil {
-			return nil, fmt.Errorf("%w: trust header %d: %v", ErrBadSnapshot, i, err)
+			return st, fmt.Errorf("%w: trust header %d: %v", ErrBadSnapshot, i, err)
 		}
 		h.Seal()
 		st.Trust.Add(h)
@@ -376,22 +518,22 @@ func ReadSnapshotState(data []byte, opts RecoverOptions) (*NodeState, error) {
 	// The recorded count, not the restored Adds, is the replay horizon:
 	// it includes headers inserted and since evicted before the gather.
 	st.Trust.setInsertions(int64(trustInserted))
-	entryCount, err := r.u32()
+	entryCount, err := snapU32(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: cache entry count: %v", ErrBadSnapshot, err)
+		return st, fmt.Errorf("%w: cache entry count: %v", ErrBadSnapshot, err)
 	}
 	for i := uint32(0); i < entryCount; i++ {
 		p, err := r.take(4 + digest.Size)
 		if err != nil {
-			return nil, fmt.Errorf("%w: cache entry %d: %v", ErrBadSnapshot, i, err)
+			return st, fmt.Errorf("%w: cache entry %d: %v", ErrBadSnapshot, i, err)
 		}
 		from := identity.NodeID(binary.LittleEndian.Uint32(p[:4]))
 		var d digest.Digest
 		copy(d[:], p[4:])
 		st.Cache.Update(from, d)
 	}
-	if r.off != len(r.buf) {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(r.buf)-r.off)
+	if n := r.leftover(); n != 0 {
+		return st, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, n)
 	}
 	return st, nil
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/par"
 )
 
 // Write-ahead-log record codec. One record per durable mutation, in a
@@ -151,63 +152,70 @@ type walReplayStats struct {
 //
 // Blocks are re-sealed through opts.Params.SealBlock and, when
 // opts.Ring is set, re-verified with opts.Params.Validate before they
-// re-enter the store. Structural violations that cannot come from a
-// torn write — wrong owner, a sequence gap — fail recovery rather
-// than truncate it.
-func replayWAL(st *NodeState, buf []byte, opts RecoverOptions, allowTorn bool) (walReplayStats, error) {
+// re-enter the store — that verification fans out on pool (nil or
+// width 1 runs inline) via recoverVerifier while this scan stays
+// sequential. Structural violations that cannot come from a torn
+// write — wrong owner, a sequence gap — fail recovery rather than
+// truncate it.
+func replayWAL(st *NodeState, buf []byte, opts RecoverOptions, allowTorn bool, pool *par.Pool) (walReplayStats, error) {
 	var stats walReplayStats
+	verify := recoverVerifier{opts: opts, pool: pool}
+	// have is the store length as if queued blocks were already
+	// appended, so the duplicate/gap checks see what the serial,
+	// append-as-you-go loop saw.
+	have := st.Store.Len()
 	off := 0
+	// The scan stops at its first error, like the serial loop — but
+	// queued verification hasn't run yet, so the error is only recorded
+	// here; a verification failure at an earlier position outranks it.
+	var scanErr error
+scan:
 	for {
 		rec, n, err := scanWALRecord(buf[off:])
 		if err == io.EOF {
-			return stats, nil
+			break
 		}
 		if err != nil {
 			// Torn or corrupt tail: the intact prefix is the durable
 			// state; the rest never finished writing.
 			stats.torn = true
 			if !allowTorn {
-				return stats, fmt.Errorf("%w: record at offset %d in a rotated generation: %v", ErrBadWALRecord, off, err)
+				scanErr = fmt.Errorf("%w: record at offset %d in a rotated generation: %v", ErrBadWALRecord, off, err)
 			}
-			return stats, nil
+			break
 		}
 		switch rec.kind {
 		case walKindBlock:
 			b, err := block.Decode(rec.payload)
 			if err != nil {
-				return stats, fmt.Errorf("%w: block at offset %d: %v", ErrBadWALRecord, off, err)
+				scanErr = fmt.Errorf("%w: block at offset %d: %v", ErrBadWALRecord, off, err)
+				break scan
 			}
 			if b.Header.Origin != opts.Owner {
-				return stats, fmt.Errorf("%w: block at offset %d origin %v", ErrWrongOwner, off, b.Header.Origin)
+				scanErr = fmt.Errorf("%w: block at offset %d origin %v", ErrWrongOwner, off, b.Header.Origin)
+				break scan
 			}
-			switch seq, have := int(b.Header.Seq), st.Store.Len(); {
+			switch seq := int(b.Header.Seq); {
 			case seq < have:
 				// Already restored by the snapshot (or an earlier WAL
 				// generation): the record predates the last compaction.
 			case seq > have:
-				return stats, fmt.Errorf("%w: block at offset %d seq %d, store has %d", ErrBadWALRecord, off, seq, have)
+				scanErr = fmt.Errorf("%w: block at offset %d seq %d, store has %d", ErrBadWALRecord, off, seq, have)
+				break scan
 			default:
-				if err := opts.Params.SealBlock(b); err != nil {
-					return stats, fmt.Errorf("%w: block at offset %d: %v", ErrBadWALRecord, off, err)
-				}
-				if opts.Ring != nil {
-					if err := opts.Params.Validate(b, opts.Ring); err != nil {
-						return stats, fmt.Errorf("%w: block at offset %d: %v", ErrBadWALRecord, off, err)
-					}
-				}
-				if err := st.Store.Append(b); err != nil {
-					return stats, fmt.Errorf("ledger: WAL replay append: %w", err)
-				}
-				stats.blocks++
+				verify.add(b, off)
+				have++
 			}
 		case walKindTrust:
 			if len(rec.payload) < walTrustPrefix {
-				return stats, fmt.Errorf("%w: trust record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+				scanErr = fmt.Errorf("%w: trust record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+				break scan
 			}
 			idx := int64(binary.LittleEndian.Uint64(rec.payload[:walTrustPrefix]))
 			h, err := block.DecodeHeader(rec.payload[walTrustPrefix:])
 			if err != nil {
-				return stats, fmt.Errorf("%w: header at offset %d: %v", ErrBadWALRecord, off, err)
+				scanErr = fmt.Errorf("%w: header at offset %d: %v", ErrBadWALRecord, off, err)
+				break scan
 			}
 			// Skip insertions the snapshot already accounts for: the
 			// header may have been FIFO-evicted since, and re-adding it
@@ -220,7 +228,8 @@ func replayWAL(st *NodeState, buf []byte, opts RecoverOptions, allowTorn bool) (
 			}
 		case walKindDigest:
 			if len(rec.payload) != 4+digest.Size {
-				return stats, fmt.Errorf("%w: digest record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+				scanErr = fmt.Errorf("%w: digest record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+				break scan
 			}
 			from := identity.NodeID(binary.LittleEndian.Uint32(rec.payload[:4]))
 			var d digest.Digest
@@ -228,13 +237,34 @@ func replayWAL(st *NodeState, buf []byte, opts RecoverOptions, allowTorn bool) (
 			st.Cache.Update(from, d)
 		case walKindForget:
 			if len(rec.payload) != 4 {
-				return stats, fmt.Errorf("%w: forget record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+				scanErr = fmt.Errorf("%w: forget record at offset %d: %d bytes", ErrBadWALRecord, off, len(rec.payload))
+				break scan
 			}
 			st.Cache.Forget(identity.NodeID(binary.LittleEndian.Uint32(rec.payload[:4])))
 		default:
-			return stats, fmt.Errorf("%w: unknown kind %d at offset %d", ErrBadWALRecord, rec.kind, off)
+			scanErr = fmt.Errorf("%w: unknown kind %d at offset %d", ErrBadWALRecord, rec.kind, off)
+			break scan
 		}
 		off += n
 		stats.valid = off
 	}
+	// Every queued block precedes scanErr's position, so reporting the
+	// first verification failure before scanErr reproduces the serial
+	// error order exactly. (Recovery discards state and stats on error,
+	// so trust/digest records applied past a failing block are moot.)
+	if err := verify.run(func(off int, err error) error {
+		return fmt.Errorf("%w: block at offset %d: %v", ErrBadWALRecord, off, err)
+	}); err != nil {
+		return stats, err
+	}
+	if scanErr != nil {
+		return stats, scanErr
+	}
+	for _, b := range verify.blocks {
+		if err := st.Store.Append(b); err != nil {
+			return stats, fmt.Errorf("ledger: WAL replay append: %w", err)
+		}
+		stats.blocks++
+	}
+	return stats, nil
 }

@@ -2,6 +2,7 @@ package ledger
 
 import (
 	"bytes"
+	"encoding/hex"
 	"errors"
 	"io"
 	"testing"
@@ -85,7 +86,7 @@ func TestWALReplayAllKinds(t *testing.T) {
 	log = appendWALRecord(log, walKindForget, []byte{8, 0, 0, 0})
 
 	st := walState()
-	stats, err := replayWAL(st, log, walOpts(), true)
+	stats, err := replayWAL(st, log, walOpts(), true, nil)
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
@@ -122,7 +123,7 @@ func TestWALReplayTornTail(t *testing.T) {
 
 	for _, cut := range []int{prefix + 1, prefix + walHeaderLen, len(log) - 1} {
 		st := walState()
-		stats, err := replayWAL(st, log[:cut], walOpts(), true)
+		stats, err := replayWAL(st, log[:cut], walOpts(), true, nil)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
@@ -137,7 +138,7 @@ func TestWALReplayTornTail(t *testing.T) {
 	bad := append([]byte(nil), log...)
 	bad[len(bad)-1] ^= 0xFF
 	st := walState()
-	stats, err := replayWAL(st, bad, walOpts(), true)
+	stats, err := replayWAL(st, bad, walOpts(), true, nil)
 	if err != nil || !stats.torn || st.Store.Len() != 1 {
 		t.Fatalf("corrupt tail: stats=%+v err=%v len=%d", stats, err, st.Store.Len())
 	}
@@ -151,22 +152,22 @@ func TestWALReplayStructuralViolations(t *testing.T) {
 	foreign := chainFor(t, identity.Deterministic(2, 1), 1, nil)[0]
 
 	wrongOwner := appendWALRecord(nil, walKindBlock, block.Encode(foreign))
-	if _, err := replayWAL(walState(), wrongOwner, walOpts(), true); !errors.Is(err, ErrWrongOwner) {
+	if _, err := replayWAL(walState(), wrongOwner, walOpts(), true, nil); !errors.Is(err, ErrWrongOwner) {
 		t.Fatalf("wrong owner: %v", err)
 	}
 
 	gap := appendWALRecord(nil, walKindBlock, block.Encode(blocks[1]))
-	if _, err := replayWAL(walState(), gap, walOpts(), true); !errors.Is(err, ErrBadWALRecord) {
+	if _, err := replayWAL(walState(), gap, walOpts(), true, nil); !errors.Is(err, ErrBadWALRecord) {
 		t.Fatalf("seq gap: %v", err)
 	}
 
 	unknown := appendWALRecord(nil, 99, nil)
-	if _, err := replayWAL(walState(), unknown, walOpts(), true); !errors.Is(err, ErrBadWALRecord) {
+	if _, err := replayWAL(walState(), unknown, walOpts(), true, nil); !errors.Is(err, ErrBadWALRecord) {
 		t.Fatalf("unknown kind: %v", err)
 	}
 
 	shortDigest := appendWALRecord(nil, walKindDigest, []byte{1, 2, 3})
-	if _, err := replayWAL(walState(), shortDigest, walOpts(), true); !errors.Is(err, ErrBadWALRecord) {
+	if _, err := replayWAL(walState(), shortDigest, walOpts(), true, nil); !errors.Is(err, ErrBadWALRecord) {
 		t.Fatalf("short digest: %v", err)
 	}
 }
@@ -187,7 +188,7 @@ func TestWALReplayIdempotent(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	stats, err := replayWAL(st, log, walOpts(), true)
+	stats, err := replayWAL(st, log, walOpts(), true, nil)
 	if err != nil {
 		t.Fatalf("replay: %v", err)
 	}
@@ -209,7 +210,7 @@ func TestWALReplayVerifiesWithRing(t *testing.T) {
 	}
 	opts := walOpts()
 	opts.Ring = ring
-	if _, err := replayWAL(walState(), log, opts, true); err == nil {
+	if _, err := replayWAL(walState(), log, opts, true, nil); err == nil {
 		t.Fatal("forged block accepted with Ring set")
 	}
 }
@@ -231,9 +232,27 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(good)
 	f.Add(good[:len(good)-3])
 	f.Add([]byte{walKindBlock, 0xFF, 0xFF, 0xFF, 0xFF})
+	// A batched commit window: consecutive block records interleaved
+	// with lazy-tier records, exactly as SyncBatch stages them between
+	// two fsyncs.
+	b1, err := p.Build(key, 1, 1, []byte("fuzz2"), []block.DigestRef{{Node: 1, Digest: b.Header.Hash()}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var window []byte
+	window = appendWALRecord(window, walKindBlock, block.Encode(b))
+	window = appendWALRecord(window, walKindDigest, appendWALDigest(nil, 7, digest.Sum([]byte("w"))))
+	window = appendWALRecord(window, walKindBlock, block.Encode(b1))
+	window = appendWALRecord(window, walKindTrust, appendWALTrust(nil, 0, &b1.Header))
+	f.Add(window)
+	// Torn mid-window tails: the crash landed between the stage and the
+	// fsync, cutting inside the second block record and inside the
+	// trailing trust record.
+	f.Add(window[:len(window)/2])
+	f.Add(window[:len(window)-5])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		st := NewNodeState(1, 0)
-		stats, err := replayWAL(st, data, RecoverOptions{Owner: 1, Params: p}, true)
+		stats, err := replayWAL(st, data, RecoverOptions{Owner: 1, Params: p}, true, nil)
 		if err != nil {
 			return
 		}
@@ -244,6 +263,42 @@ func FuzzWALReplay(f *testing.F) {
 			t.Fatalf("valid=%d > input %d", stats.valid, len(data))
 		}
 	})
+}
+
+// TestWALGroupCommitWindowGolden pins the on-disk image of a
+// multi-record committed window byte for byte: records staged between
+// two fsyncs are laid out back to back with no window framing of their
+// own — the window exists only in the acknowledgement protocol, so a
+// WAL written under SyncBatch is indistinguishable from one written
+// record-at-a-time and every already-deployed replay can read it.
+func TestWALGroupCommitWindowGolden(t *testing.T) {
+	d := digest.Sum([]byte("2ldag"))
+	var win []byte
+	win = appendWALRecord(win, walKindDigest, appendWALDigest(nil, 3, d))
+	win = appendWALRecord(win, walKindForget, []byte{3, 0, 0, 0})
+	win = appendWALRecord(win, walKindDigest, appendWALDigest(nil, 5, d))
+	const want = "03240000000300000099c40c59e749d56f24ecdd01951a85380b258e9a17b498e31292c2aa6530efcb3bfaf689" + // digest node 3
+		"040400000003000000c4a11526" + // forget node 3
+		"03240000000500000099c40c59e749d56f24ecdd01951a85380b258e9a17b498e31292c2aa6530efcbb3635d21" // digest node 5
+	if got := hex.EncodeToString(win); got != want {
+		t.Fatalf("window image diverged from golden bytes:\n got %s\nwant %s", got, want)
+	}
+	// The whole window replays: node 3's entry was upserted then
+	// forgotten, node 5's survives.
+	st := walState()
+	stats, err := replayWAL(st, win, walOpts(), true, nil)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if stats.torn || stats.valid != len(win) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if _, ok := st.Cache.Get(3); ok {
+		t.Fatal("forgotten neighbor survived the window")
+	}
+	if got, ok := st.Cache.Get(5); !ok || got != d {
+		t.Fatal("digest entry lost from the window")
+	}
 }
 
 // TestWALReplayStrict: a rotated generation was repaired and synced
@@ -257,12 +312,12 @@ func TestWALReplayStrict(t *testing.T) {
 	log = appendWALRecord(log, walKindBlock, block.Encode(blocks[1]))
 
 	torn := log[:len(log)-3]
-	if _, err := replayWAL(walState(), torn, walOpts(), false); !errors.Is(err, ErrBadWALRecord) {
+	if _, err := replayWAL(walState(), torn, walOpts(), false, nil); !errors.Is(err, ErrBadWALRecord) {
 		t.Fatalf("strict replay of a torn log: %v", err)
 	}
 	// The intact log passes strict replay unchanged.
 	st := walState()
-	if stats, err := replayWAL(st, log, walOpts(), false); err != nil || stats.blocks != 2 {
+	if stats, err := replayWAL(st, log, walOpts(), false, nil); err != nil || stats.blocks != 2 {
 		t.Fatalf("strict replay of an intact log: stats=%+v err=%v", stats, err)
 	}
 }
@@ -281,7 +336,7 @@ func TestWALReplayTrustHorizon(t *testing.T) {
 
 	st := walState()
 	st.Trust.setInsertions(3)
-	if _, err := replayWAL(st, log, walOpts(), true); err != nil {
+	if _, err := replayWAL(st, log, walOpts(), true, nil); err != nil {
 		t.Fatalf("replay: %v", err)
 	}
 	for i, b := range nb {
@@ -294,7 +349,7 @@ func TestWALReplayTrustHorizon(t *testing.T) {
 	}
 
 	short := appendWALRecord(nil, walKindTrust, []byte{1, 2, 3})
-	if _, err := replayWAL(walState(), short, walOpts(), true); !errors.Is(err, ErrBadWALRecord) {
+	if _, err := replayWAL(walState(), short, walOpts(), true, nil); !errors.Is(err, ErrBadWALRecord) {
 		t.Fatalf("short trust record: %v", err)
 	}
 }

@@ -1,0 +1,270 @@
+package ledger
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Group commit: the classic storage-engine answer to fsync dominating
+// a write-ahead log (etcd, Pebble, every production WAL). Block
+// records are staged into wal.log immediately, but the fsync that
+// acknowledges them covers a whole *commit window* — every record
+// staged since the last fsync — so concurrent and batched writers
+// share one disk flush instead of paying one each.
+//
+// The window is closed by whichever of these the SyncPolicy selects:
+//
+//   - SyncAlways: a dedicated committer goroutine fsyncs on every
+//     staged block record; each LogBlock caller blocks until the fsync
+//     covering its record returns. Callers that stage while an fsync
+//     is in flight are absorbed into the next window, so the
+//     per-block write-ahead contract is preserved exactly while
+//     concurrent seal paths amortize the flush.
+//   - SyncBatch: LogBlock stages and returns; Commit closes the
+//     window explicitly. Drivers call it once per slot flush, before
+//     any digest goes on the wire — write-ahead at window granularity
+//     (a neighbor never learns of a block that could vanish).
+//   - SyncInterval(d): the committer's ticker closes the window every
+//     d — bounded staleness for deployments that can afford to lose
+//     the last instants of sealed traffic.
+//
+// Crash safety of an open window: records staged but not yet fsynced
+// were never acknowledged. The kernel may persist them out of order,
+// but replay stops at the first incomplete or corrupt record, so any
+// record the crash orphaned behind a hole is unreachable — recovery
+// sees a clean prefix, every fsync-acknowledged record of which is
+// intact (they all precede the window). Nothing is ever half-applied.
+
+// syncMode enumerates the window-closing disciplines.
+type syncMode uint8
+
+const (
+	syncModeAlways syncMode = iota
+	syncModeBatch
+	syncModeInterval
+)
+
+// SyncPolicy selects when WAL block records are fsynced — i.e. what
+// closes a commit window. The zero value is SyncAlways, the
+// default-compatible per-block discipline.
+type SyncPolicy struct {
+	mode  syncMode
+	every time.Duration
+}
+
+// SyncAlways fsyncs every block record before the append is
+// acknowledged (the default): nothing sealed is ever lost, and
+// concurrent writers group-commit under one flush.
+func SyncAlways() SyncPolicy { return SyncPolicy{} }
+
+// SyncBatch stages block records without fsyncing; Commit closes the
+// window. A crash inside an open window loses only records that were
+// never acknowledged durable — the driver commits before announcing.
+func SyncBatch() SyncPolicy { return SyncPolicy{mode: syncModeBatch} }
+
+// SyncInterval fsyncs staged records at most every d — bounded
+// staleness: a crash loses at most the last d of sealed traffic.
+func SyncInterval(d time.Duration) SyncPolicy {
+	return SyncPolicy{mode: syncModeInterval, every: d}
+}
+
+// PerBlock reports the SyncAlways discipline.
+func (p SyncPolicy) PerBlock() bool { return p.mode == syncModeAlways }
+
+// Batched reports the SyncBatch discipline — the one under which a
+// driver must Commit at its flush boundary.
+func (p SyncPolicy) Batched() bool { return p.mode == syncModeBatch }
+
+// Every returns the interval of a SyncInterval policy, 0 otherwise.
+func (p SyncPolicy) Every() time.Duration {
+	if p.mode == syncModeInterval {
+		return p.every
+	}
+	return 0
+}
+
+// Validate rejects malformed policies (a non-positive interval).
+func (p SyncPolicy) Validate() error {
+	if p.mode == syncModeInterval && p.every <= 0 {
+		return fmt.Errorf("ledger: SyncInterval(%v): interval must be positive", p.every)
+	}
+	return nil
+}
+
+// String renders the policy in the form ParseSyncPolicy accepts.
+func (p SyncPolicy) String() string {
+	switch p.mode {
+	case syncModeBatch:
+		return "batch"
+	case syncModeInterval:
+		return "interval=" + p.every.String()
+	default:
+		return "always"
+	}
+}
+
+// ParseSyncPolicy parses "always", "batch" or "interval=<duration>"
+// (e.g. "interval=50ms") — the -sync flag syntax.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch {
+	case s == "always" || s == "":
+		return SyncAlways(), nil
+	case s == "batch":
+		return SyncBatch(), nil
+	case strings.HasPrefix(s, "interval="):
+		d, err := time.ParseDuration(strings.TrimPrefix(s, "interval="))
+		if err != nil {
+			return SyncPolicy{}, fmt.Errorf("ledger: sync policy %q: %w", s, err)
+		}
+		p := SyncInterval(d)
+		if err := p.Validate(); err != nil {
+			return SyncPolicy{}, err
+		}
+		return p, nil
+	default:
+		return SyncPolicy{}, fmt.Errorf("ledger: unknown sync policy %q (want always, batch, or interval=<duration>)", s)
+	}
+}
+
+// CommitObserver receives one callback per WAL commit window, after
+// its fsync returned: how many block records the window acknowledged
+// and how many WAL bytes it made durable. Implementations must be
+// cheap and safe for concurrent use (metrics.EventCounters is one).
+type CommitObserver interface {
+	OnWALCommit(blocks int, bytes int64)
+}
+
+// BackendOption configures OpenFileBackend.
+type BackendOption func(*FileBackend)
+
+// WithSyncPolicy selects the backend's commit-window discipline
+// (default SyncAlways).
+func WithSyncPolicy(p SyncPolicy) BackendOption {
+	return func(fb *FileBackend) { fb.policy = p }
+}
+
+// WithCommitObserver attaches a per-commit-window callback.
+func WithCommitObserver(o CommitObserver) BackendOption {
+	return func(fb *FileBackend) { fb.obs = o }
+}
+
+// WALStats are the backend's durability counters since open — how
+// many fsyncs the commit windows cost and how many bytes they made
+// durable. The ratio of blocks logged to Fsyncs is the amortization
+// group commit bought.
+type WALStats struct {
+	Fsyncs         int64
+	BytesCommitted int64
+}
+
+// WALStats returns the durability counters since open.
+func (fb *FileBackend) WALStats() WALStats {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	return WALStats{Fsyncs: fb.fsyncs, BytesCommitted: fb.committed}
+}
+
+// waiterPool recycles the one-shot acknowledgement channels LogBlock
+// blocks on under SyncAlways; each receives exactly one send before
+// being returned, so a pooled channel is always empty.
+var waiterPool = sync.Pool{New: func() any { return make(chan error, 1) }}
+
+// kickCommitter wakes the committer goroutine without blocking; a
+// pending token already covers every staged record.
+func (fb *FileBackend) kickCommitter() {
+	select {
+	case fb.kick <- struct{}{}:
+	default:
+	}
+}
+
+// committer is the dedicated commit goroutine: it closes commit
+// windows on demand (SyncAlways kicks) or on a ticker (SyncInterval).
+// The fsync runs under fb.mu, which is what forms the window — every
+// LogBlock that queued on the mutex while a flush was in flight stages
+// into the next window and shares its fsync.
+func (fb *FileBackend) committer() {
+	defer close(fb.done)
+	var tick <-chan time.Time
+	if d := fb.policy.Every(); d > 0 {
+		t := time.NewTicker(d)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-fb.stop:
+			return
+		case <-fb.kick:
+		case <-tick:
+		}
+		fb.mu.Lock()
+		if !fb.closed {
+			err := fb.commitLocked()
+			// Interval windows have no waiter to hand the error to; keep
+			// it sticky so Sync/Close surface it (SyncAlways errors reach
+			// every blocked caller directly).
+			if err != nil && fb.policy.Every() > 0 && fb.deferred == nil {
+				fb.deferred = err
+			}
+		}
+		fb.mu.Unlock()
+	}
+}
+
+// commitLocked closes the current commit window: repair any poisoned
+// tail, fsync everything staged past syncedOff, and release every
+// blocked LogBlock caller. On fsync failure the durability of the
+// whole unsynced region is unknown, so it is poisoned wholesale —
+// goodOff retreats to the last acknowledged fsync and the next write
+// truncates the region away; every waiter fails (their appends fail
+// with them), and staged-but-unacknowledged block records leave the
+// pending count. Caller holds fb.mu.
+func (fb *FileBackend) commitLocked() error {
+	rerr := fb.repairLocked()
+	if fb.goodOff == fb.syncedOff && len(fb.waiters) == 0 {
+		return rerr // nothing staged since the last fsync
+	}
+	if err := fb.f.Sync(); err != nil {
+		err = fmt.Errorf("ledger: syncing WAL: %w", err)
+		fb.goodOff = fb.syncedOff
+		fb.dirty = true
+		fb.pending -= fb.windowBlocks
+		fb.windowBlocks = 0
+		for _, w := range fb.waiters {
+			w <- err
+		}
+		fb.waiters = fb.waiters[:0]
+		return err
+	}
+	blocks := fb.windowBlocks
+	bytes := fb.goodOff - fb.syncedOff
+	fb.syncedOff = fb.goodOff
+	fb.windowBlocks = 0
+	fb.fsyncs++
+	fb.committed += bytes
+	for _, w := range fb.waiters {
+		w <- nil
+	}
+	fb.waiters = fb.waiters[:0]
+	if fb.obs != nil {
+		fb.obs.OnWALCommit(blocks, bytes)
+	}
+	return rerr
+}
+
+// Commit closes the current commit window, fsyncing every staged
+// record: under SyncBatch this is the acknowledgement point a driver
+// invokes once per slot flush; under the other policies it is a cheap
+// no-op when nothing is staged. Unlike Sync it does not surface (or
+// clear) sticky lazy-tier errors — it is a hot-path call.
+func (fb *FileBackend) Commit() error {
+	fb.mu.Lock()
+	defer fb.mu.Unlock()
+	if fb.closed {
+		return ErrBackendClosed
+	}
+	return fb.commitLocked()
+}

@@ -27,7 +27,22 @@ type EventCounters struct {
 	retriesAttempted atomic.Int64
 	peersSuspected   atomic.Int64
 	peersRecovered   atomic.Int64
+
+	// Durable-path counters, fed by the ledger's group-commit writer
+	// through OnWALCommit (ledger.CommitObserver, implemented
+	// structurally so this package stays ledger-free). The window
+	// histogram makes fsync amortization visible on a scrape: a
+	// healthy batched deployment shows mass in the high buckets,
+	// while SyncAlways pins everything at le="1".
+	walFsyncs     atomic.Int64
+	walBytes      atomic.Int64
+	walWindowSum  atomic.Int64
+	walWindowBkts [len(walWindowBounds) + 1]atomic.Int64
 }
+
+// walWindowBounds are the upper bounds (inclusive, in blocks) of the
+// commit-window histogram buckets; an implicit +Inf bucket follows.
+var walWindowBounds = [...]int64{1, 2, 4, 8, 16, 32, 64}
 
 var _ events.Observer = (*EventCounters)(nil)
 
@@ -66,6 +81,22 @@ func (c *EventCounters) OnPeerSuspected(events.PeerSuspected) { c.peersSuspected
 
 // OnPeerRecovered implements events.Observer.
 func (c *EventCounters) OnPeerRecovered(events.PeerRecovered) { c.peersRecovered.Add(1) }
+
+// OnWALCommit records one durable commit window: a single fsync that
+// acknowledged blocks block records totalling bytes on-disk WAL bytes.
+// It structurally implements ledger.CommitObserver, so an
+// *EventCounters passed as a driver observer also receives the
+// backend's commit stream.
+func (c *EventCounters) OnWALCommit(blocks int, bytes int64) {
+	c.walFsyncs.Add(1)
+	c.walBytes.Add(bytes)
+	c.walWindowSum.Add(int64(blocks))
+	i := 0
+	for i < len(walWindowBounds) && int64(blocks) > walWindowBounds[i] {
+		i++
+	}
+	c.walWindowBkts[i].Add(1)
+}
 
 // BlocksSealed returns the number of BlockSealed events observed.
 func (c *EventCounters) BlocksSealed() int64 { return c.blocksSealed.Load() }
@@ -107,6 +138,18 @@ func (c *EventCounters) PeersSuspected() int64 { return c.peersSuspected.Load() 
 // re-admitting a suspected peer.
 func (c *EventCounters) PeersRecovered() int64 { return c.peersRecovered.Load() }
 
+// WALFsyncs returns the number of durable commit windows (one fsync
+// each) the ledger backend has completed.
+func (c *EventCounters) WALFsyncs() int64 { return c.walFsyncs.Load() }
+
+// WALBytesWritten returns the total WAL bytes made durable across all
+// commit windows.
+func (c *EventCounters) WALBytesWritten() int64 { return c.walBytes.Load() }
+
+// WALBlocksCommitted returns the total block records acknowledged
+// across all commit windows (the histogram's _sum).
+func (c *EventCounters) WALBlocksCommitted() int64 { return c.walWindowSum.Load() }
+
 // WritePrometheus writes the counters in the Prometheus text
 // exposition format (version 0.0.4), making the typed observer stream
 // scrapeable: point a collector at any io.Writer-backed endpoint and
@@ -129,11 +172,33 @@ func (c *EventCounters) WritePrometheus(w io.Writer) error {
 		{"twoldag_retries_attempted_total", "Announcement frames and PoP requests re-issued after a failed attempt.", c.RetriesAttempted()},
 		{"twoldag_peers_suspected_total", "Circuit-breaker openings after consecutive transport failures.", c.PeersSuspected()},
 		{"twoldag_peers_recovered_total", "Recovery probes that re-admitted a suspected peer.", c.PeersRecovered()},
+		{"twoldag_wal_fsyncs_total", "Durable WAL commit windows completed (one fsync each).", c.WALFsyncs()},
+		{"twoldag_wal_bytes_written_total", "WAL bytes made durable across all commit windows.", c.WALBytesWritten()},
 	} {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			m.name, m.help, m.name, m.name, m.value); err != nil {
 			return err
 		}
+	}
+
+	// Commit-window size histogram: cumulative buckets per the
+	// exposition format, so le="+Inf" equals _count and _sum divided
+	// by _count is the mean blocks amortized per fsync.
+	const hn = "twoldag_wal_commit_window_blocks"
+	if _, err := fmt.Fprintf(w, "# HELP %s Block records acknowledged per WAL commit window.\n# TYPE %s histogram\n", hn, hn); err != nil {
+		return err
+	}
+	cum := int64(0)
+	for i, bound := range walWindowBounds {
+		cum += c.walWindowBkts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", hn, bound, cum); err != nil {
+			return err
+		}
+	}
+	cum += c.walWindowBkts[len(walWindowBounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+		hn, cum, hn, c.walWindowSum.Load(), hn, cum); err != nil {
+		return err
 	}
 	return nil
 }

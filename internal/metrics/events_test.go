@@ -7,7 +7,12 @@ import (
 	"github.com/twoldag/twoldag/internal/digest"
 	"github.com/twoldag/twoldag/internal/events"
 	"github.com/twoldag/twoldag/internal/identity"
+	"github.com/twoldag/twoldag/internal/ledger"
 )
+
+// EventCounters must keep satisfying the ledger's commit-observer
+// contract structurally (the package itself stays ledger-free).
+var _ ledger.CommitObserver = (*EventCounters)(nil)
 
 // TestEventCountersBatchDelivery pins the batched-path aggregation:
 // one batch counts as one flush plus len(Digests) accepted
@@ -46,6 +51,9 @@ func TestWritePrometheusGolden(t *testing.T) {
 	c.OnRetryAttempted(events.RetryAttempted{Attempt: 2})
 	c.OnPeerSuspected(events.PeerSuspected{Failures: 2})
 	c.OnPeerRecovered(events.PeerRecovered{})
+	c.OnWALCommit(1, 120)   // SyncAlways-shaped window
+	c.OnWALCommit(8, 960)   // boundary lands in the le="8" bucket
+	c.OnWALCommit(40, 4800) // le="64"
 
 	var sb strings.Builder
 	if err := c.WritePrometheus(&sb); err != nil {
@@ -81,6 +89,24 @@ twoldag_peers_suspected_total 1
 # HELP twoldag_peers_recovered_total Recovery probes that re-admitted a suspected peer.
 # TYPE twoldag_peers_recovered_total counter
 twoldag_peers_recovered_total 1
+# HELP twoldag_wal_fsyncs_total Durable WAL commit windows completed (one fsync each).
+# TYPE twoldag_wal_fsyncs_total counter
+twoldag_wal_fsyncs_total 3
+# HELP twoldag_wal_bytes_written_total WAL bytes made durable across all commit windows.
+# TYPE twoldag_wal_bytes_written_total counter
+twoldag_wal_bytes_written_total 5880
+# HELP twoldag_wal_commit_window_blocks Block records acknowledged per WAL commit window.
+# TYPE twoldag_wal_commit_window_blocks histogram
+twoldag_wal_commit_window_blocks_bucket{le="1"} 1
+twoldag_wal_commit_window_blocks_bucket{le="2"} 1
+twoldag_wal_commit_window_blocks_bucket{le="4"} 1
+twoldag_wal_commit_window_blocks_bucket{le="8"} 2
+twoldag_wal_commit_window_blocks_bucket{le="16"} 2
+twoldag_wal_commit_window_blocks_bucket{le="32"} 2
+twoldag_wal_commit_window_blocks_bucket{le="64"} 3
+twoldag_wal_commit_window_blocks_bucket{le="+Inf"} 3
+twoldag_wal_commit_window_blocks_sum 49
+twoldag_wal_commit_window_blocks_count 3
 `
 	if got := sb.String(); got != want {
 		t.Fatalf("exposition diverged from golden output:\n--- got ---\n%s\n--- want ---\n%s", got, want)

@@ -179,6 +179,12 @@ func (n *Node) ID() identity.NodeID { return n.cfg.Key.ID }
 // Engine exposes the node's 2LDAG state machine.
 func (n *Node) Engine() *core.Engine { return n.engine }
 
+// CommitJournal closes the durability backend's open WAL commit
+// window (see core.Engine.CommitJournal). Drivers call it at the
+// flush boundary when the backend runs a batched sync policy; a no-op
+// for in-memory nodes.
+func (n *Node) CommitJournal() error { return n.engine.CommitJournal() }
+
 // Blacklist exposes the node's penalty book (Sec. IV-D6).
 func (n *Node) Blacklist() *ledger.Blacklist { return n.bl }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/twoldag/twoldag/internal/block"
 	"github.com/twoldag/twoldag/internal/faults"
+	"github.com/twoldag/twoldag/internal/ledger"
 	"github.com/twoldag/twoldag/internal/pow"
 	"github.com/twoldag/twoldag/internal/topology"
 )
@@ -85,6 +86,7 @@ type config struct {
 	dataDir      string
 	trustCap     int
 	compactEvery int
+	syncPolicy   SyncPolicy
 }
 
 func defaultConfig() *config {
@@ -309,6 +311,37 @@ func WithCompactEvery(n int) Option {
 	}
 }
 
+// SyncPolicy selects when durable nodes fsync WAL block records —
+// what closes a commit window (see ledger.SyncPolicy). Construct with
+// SyncAlways, SyncBatch, or SyncInterval.
+type SyncPolicy = ledger.SyncPolicy
+
+// SyncAlways fsyncs every sealed block before acknowledging it (the
+// default): nothing sealed is ever lost; concurrent seals share one
+// flush via group commit.
+func SyncAlways() SyncPolicy { return ledger.SyncAlways() }
+
+// SyncBatch defers the fsync to the slot flush: one commit window per
+// Submit/SubmitBatch, closed before any digest is announced. A crash
+// can only lose blocks no neighbor was ever told about.
+func SyncBatch() SyncPolicy { return ledger.SyncBatch() }
+
+// SyncInterval fsyncs staged records at most every d — bounded
+// staleness: a crash loses at most the last d of sealed traffic.
+func SyncInterval(d time.Duration) SyncPolicy { return ledger.SyncInterval(d) }
+
+// WithSyncPolicy sets the WAL commit-window policy for every durable
+// node (default SyncAlways). Requires WithDataDir; live driver only.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(c *config) error {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("twoldag: WithSyncPolicy: %w", err)
+		}
+		c.syncPolicy = p
+		return nil
+	}
+}
+
 // WithTrustCap bounds every node's trust store H_i to n headers,
 // evicting oldest-inserted first (ledger.TrustStore.SetCap) — the knob
 // that keeps long-lived deployments' memory bounded, on both drivers.
@@ -393,6 +426,9 @@ func (c *config) validate(g *topology.Graph) error {
 		if c.compactEvery > 0 && c.dataDir == "" {
 			return errors.New("twoldag: WithCompactEvery requires WithDataDir")
 		}
+		if !c.syncPolicy.PerBlock() && c.dataDir == "" {
+			return errors.New("twoldag: WithSyncPolicy requires WithDataDir")
+		}
 		if c.pipeline > 1 {
 			return errors.New("twoldag: WithPipelineDepth applies to the simulator driver only")
 		}
@@ -409,6 +445,9 @@ func (c *config) validate(g *topology.Graph) error {
 		}
 		if c.compactEvery > 0 {
 			return errors.New("twoldag: WithCompactEvery applies to the live driver only")
+		}
+		if !c.syncPolicy.PerBlock() {
+			return errors.New("twoldag: WithSyncPolicy applies to the live driver only")
 		}
 		if c.faultPlan.Active() {
 			return errors.New("twoldag: WithFaults applies to the live driver only")

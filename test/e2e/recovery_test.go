@@ -17,8 +17,9 @@ import (
 
 // recoveryFlags configure one durable host: the shared e2e world, no
 // chaos, a trust cap (so snapshot v2's cap field rides the whole
-// pipeline), and a per-node data dir under base.
-func recoveryFlags(base string, id int) []string {
+// pipeline), the WAL sync policy under test, and a per-node data dir
+// under base.
+func recoveryFlags(base string, id int, sync string) []string {
 	return []string{
 		"-nodes", fmt.Sprint(nodes),
 		"-seed", fmt.Sprint(seed),
@@ -26,19 +27,20 @@ func recoveryFlags(base string, id int) []string {
 		"-difficulty", fmt.Sprint(difficulty),
 		"-timeout", "1s",
 		"-trust-cap", "4",
+		"-sync", sync,
 		"-data", filepath.Join(base, fmt.Sprintf("node-%d", id)),
 	}
 }
 
 // spawnDurable boots the planned cluster with persistence on.
-func spawnDurable(t *testing.T, base string) []*proc {
+func spawnDurable(t *testing.T, base, sync string) []*proc {
 	t.Helper()
 	procs := make([]*proc, nodes)
-	procs[0] = spawn(t, append([]string{"serve", "-id", "0"}, recoveryFlags(base, 0)...)...)
+	procs[0] = spawn(t, append([]string{"serve", "-id", "0"}, recoveryFlags(base, 0, sync)...)...)
 	for id := 1; id < nodes; id++ {
 		procs[id] = spawn(t, append([]string{
 			"serve", "-id", fmt.Sprint(id), "-bootstrap", procs[0].addr,
-		}, recoveryFlags(base, id)...)...)
+		}, recoveryFlags(base, id, sync)...)...)
 	}
 	return procs
 }
@@ -56,9 +58,9 @@ type recoveryObs struct {
 // — and, when kill is set, the victim is SIGKILLed before anyone
 // flushes and a fresh serve process resumes from its data dir — then
 // flushes, audits, and a state digest per node.
-func runRecoveryE2E(t *testing.T, base string, kill bool) recoveryObs {
+func runRecoveryE2E(t *testing.T, base string, kill bool, sync string) recoveryObs {
 	t.Helper()
-	procs := spawnDurable(t, base)
+	procs := spawnDurable(t, base, sync)
 	var obs recoveryObs
 
 	submitSlot := func(slot int, members []*proc) {
@@ -118,7 +120,7 @@ func runRecoveryE2E(t *testing.T, base string, kill bool) recoveryObs {
 		procs[victim].kill()
 		restarted := spawn(t, append([]string{
 			"serve", "-id", fmt.Sprint(victim), "-bootstrap", procs[0].addr,
-		}, recoveryFlags(base, victim)...)...)
+		}, recoveryFlags(base, victim, sync)...)...)
 		restarted.mustOK(cluster.ControlRequest{Op: "slot", Slot: 3})
 		// The sealed-but-unannounced block survived the kill bit for bit.
 		latest := restarted.mustOK(cluster.ControlRequest{Op: "latest"})
@@ -164,14 +166,20 @@ func TestRecoveryE2EKillRestartEquivalence(t *testing.T) {
 		t.Skip("spawns real processes")
 	}
 	base := t.TempDir()
-	want := runRecoveryE2E(t, filepath.Join(base, "oracle"), false)
+	want := runRecoveryE2E(t, filepath.Join(base, "oracle"), false, "always")
 	for i, ok := range want.verdicts {
 		if !ok {
 			t.Fatalf("uninterrupted audit %d reached no consensus — not a usable baseline", i)
 		}
 	}
-	got := runRecoveryE2E(t, filepath.Join(base, "crash"), true)
+	got := runRecoveryE2E(t, filepath.Join(base, "crash"), true, "always")
+	compareRecoveryObs(t, got, want)
+}
 
+// compareRecoveryObs requires two runs to be observably identical:
+// sealed headers, audit verdicts, per-node state digests.
+func compareRecoveryObs(t *testing.T, got, want recoveryObs) {
+	t.Helper()
 	if len(got.hashes) != len(want.hashes) {
 		t.Fatalf("sealed %d blocks, oracle sealed %d", len(got.hashes), len(want.hashes))
 	}
@@ -189,5 +197,32 @@ func TestRecoveryE2EKillRestartEquivalence(t *testing.T) {
 		if got.states[i] != want.states[i] {
 			t.Errorf("node %d ledger state diverged from the uninterrupted run", i)
 		}
+	}
+}
+
+// TestRecoveryE2ESyncPolicies re-runs the SIGKILL/restart proof under
+// the batched and interval commit-window disciplines, each compared
+// against one uninterrupted SyncAlways oracle. The victim dies between
+// seal and flush — under -sync batch its final block was staged but
+// never fsync-acknowledged, the harshest window group commit opens —
+// and the restarted cluster must still be indistinguishable from the
+// oracle, because the sealed chain is deterministic and every
+// announced record was committed at a flush boundary first.
+func TestRecoveryE2ESyncPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	base := t.TempDir()
+	want := runRecoveryE2E(t, filepath.Join(base, "oracle"), false, "always")
+	for i, ok := range want.verdicts {
+		if !ok {
+			t.Fatalf("uninterrupted audit %d reached no consensus — not a usable baseline", i)
+		}
+	}
+	for _, sync := range []string{"batch", "interval=25ms"} {
+		t.Run(sync, func(t *testing.T) {
+			got := runRecoveryE2E(t, filepath.Join(base, sync), true, sync)
+			compareRecoveryObs(t, got, want)
+		})
 	}
 }
